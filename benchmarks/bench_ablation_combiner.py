@@ -1,0 +1,88 @@
+"""E11 — ablation: the combination function (Equation 1 and alternatives).
+
+Equation 1 combines per-parameter satisfactions with the harmonic mean;
+reference [29] extends it with weights.  This bench replaces the combiner
+(harmonic / weighted / minimum / geometric) in a two-preference scenario
+and reports how the chosen chain and its satisfaction respond.
+"""
+
+from __future__ import annotations
+
+from repro.core.satisfaction import (
+    CombinedSatisfaction,
+    GeometricCombiner,
+    HarmonicCombiner,
+    MinimumCombiner,
+    WeightedHarmonicCombiner,
+)
+from repro.core.selection import QoSPathSelector
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+from conftest import format_table
+
+COMBINERS = {
+    "harmonic (Equa. 1)": HarmonicCombiner(),
+    "weighted 3:1 fps": WeightedHarmonicCombiner([3.0, 1.0]),
+    "weighted 1:3 res": WeightedHarmonicCombiner([1.0, 3.0]),
+    "minimum": MinimumCombiner(),
+    "geometric": GeometricCombiner(),
+}
+
+
+def test_combiner_ablation(benchmark, save_artifact):
+    # Seed 14 yields a scenario where the chain crosses a bottleneck that
+    # forces a real frame-rate / resolution trade-off, so the combiner
+    # choice visibly moves the total (min 0.50 ... geometric 0.71).
+    scenario = generate_scenario(
+        SyntheticConfig(seed=14, n_services=24, preference_mode="rich")
+    )
+    graph = scenario.build_graph()
+    base = scenario.user.satisfaction()
+
+    def run_with(combiner):
+        satisfaction = CombinedSatisfaction(
+            functions=dict(base.functions), combiner=combiner
+        )
+        return QoSPathSelector(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            satisfaction,
+            budget=scenario.user.budget,
+            record_trace=False,
+        ).run()
+
+    benchmark(lambda: run_with(HarmonicCombiner()))
+
+    rows = []
+    for name, combiner in COMBINERS.items():
+        result = run_with(combiner)
+        config = result.configuration
+        rows.append(
+            (
+                name,
+                ",".join(result.path) if result.success else "FAIL",
+                f"{result.satisfaction:.4f}" if result.success else "-",
+                f"{config.get_value('frame_rate', 0.0):.1f}" if config else "-",
+                f"{config.get_value('resolution', 0.0):.0f}" if config else "-",
+            )
+        )
+    save_artifact(
+        "ablation_combiner.txt",
+        "E11 — combiner ablation on a two-preference scenario\n\n"
+        + format_table(
+            ["combiner", "selected path", "S_tot", "fps", "pixels"], rows
+        ),
+    )
+    # All combiners must deliver a valid result on a feasible scenario.
+    assert all(row[1] != "FAIL" for row in rows)
+    # The harmonic total sits between minimum and geometric on the same
+    # chain (when the chains coincide, which the assertion tolerates by
+    # comparing totals only when paths match).
+    by_name = {row[0]: row for row in rows}
+    if by_name["minimum"][1] == by_name["geometric"][1] == by_name["harmonic (Equa. 1)"][1]:
+        assert (
+            float(by_name["minimum"][2])
+            <= float(by_name["harmonic (Equa. 1)"][2]) + 1e-9
+            <= float(by_name["geometric"][2]) + 2e-9
+        )

@@ -1,0 +1,148 @@
+"""E14 — ablation: tie-break policy and optimizer strategy.
+
+Two implementation choices the paper leaves open:
+
+1. **Tie-breaking** in Step 4 (which equally-satisfying candidate settles
+   first).  Every policy must reach the same final satisfaction — ties are
+   equal by definition — but round counts and the reported path can
+   differ.  We sweep all policies over tie-rich scenarios.
+2. **The Optimize(...) strategy**: the analytic three-phase optimizer vs
+   the dense grid-search reference — quality deltas and speed.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.core.gridsearch import GridSearchOptimizer
+from repro.core.optimizer import ConfigurationOptimizer, OptimizationConstraints
+from repro.core.selection import QoSPathSelector, TieBreakPolicy
+from repro.workloads.paper import figure6_scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+from conftest import format_table
+
+
+def test_tiebreak_policies(benchmark, save_artifact):
+    rows = []
+    satisfaction_per_policy = {}
+    scenarios = [("figure6", figure6_scenario())]
+    for seed in (3, 5, 9):
+        scenarios.append(
+            (
+                f"synthetic-{seed}",
+                generate_scenario(SyntheticConfig(seed=seed, n_services=20)),
+            )
+        )
+
+    reference = scenarios[0][1]
+    reference_graph = reference.build_graph()
+    benchmark(
+        lambda: reference.selector(
+            graph=reference_graph, tie_break=TieBreakPolicy.PAPER
+        ).run()
+    )
+
+    for name, scenario in scenarios:
+        graph = scenario.build_graph()
+        for policy in TieBreakPolicy:
+            result = scenario.selector(graph=graph, tie_break=policy).run()
+            satisfaction_per_policy.setdefault(name, set()).add(
+                round(result.satisfaction, 9)
+            )
+            rows.append(
+                (
+                    name,
+                    policy.value,
+                    ",".join(result.path) if result.success else "FAIL",
+                    f"{result.satisfaction:.4f}",
+                    result.rounds_run,
+                )
+            )
+    save_artifact(
+        "ablation_tiebreak.txt",
+        "E14 — tie-break policy sweep\n\n"
+        + format_table(
+            ["scenario", "policy", "path", "satisfaction", "rounds"], rows
+        ),
+    )
+    # The invariant: policy never changes the achieved satisfaction.
+    for name, values in satisfaction_per_policy.items():
+        assert len(values) == 1, name
+
+
+def test_optimizer_strategy(benchmark, save_artifact):
+    """Analytic three-phase vs grid-search reference, per-call."""
+    scenario = generate_scenario(
+        SyntheticConfig(seed=14, n_services=24, preference_mode="rich")
+    )
+    graph = scenario.build_graph()
+    satisfaction = scenario.user.satisfaction()
+    analytic = ConfigurationOptimizer(scenario.parameters, satisfaction)
+    grid = GridSearchOptimizer(scenario.parameters, satisfaction, grid_points=41)
+
+    # Collect the optimization calls the selector actually makes.
+    calls = []
+    sender = graph.sender
+    for edge in graph.edges():
+        source = graph.vertex(edge.source)
+        if source.is_sender:
+            upstream = sender.source_configurations.get(edge.format_name)
+        else:
+            upstream = sender.source_configurations[
+                next(iter(sender.source_configurations))
+            ]
+        if upstream is None:
+            continue
+        calls.append(
+            OptimizationConstraints(
+                upstream=upstream,
+                caps=graph.vertex(edge.target).service.output_caps,
+                fmt=scenario.registry.get(edge.format_name),
+                bandwidth_bps=edge.bandwidth_bps,
+            )
+        )
+
+    def run_all(optimizer):
+        results = []
+        for constraints in calls:
+            choice = optimizer.optimize(constraints)
+            results.append(choice.satisfaction if choice else None)
+        return results
+
+    benchmark(lambda: run_all(analytic))
+
+    start = time.perf_counter()
+    analytic_results = run_all(analytic)
+    analytic_ms = (time.perf_counter() - start) * 1000.0
+    start = time.perf_counter()
+    grid_results = run_all(grid)
+    grid_ms = (time.perf_counter() - start) * 1000.0
+
+    comparable = [
+        (a, g)
+        for a, g in zip(analytic_results, grid_results)
+        if a is not None and g is not None
+    ]
+    deltas = [a - g for a, g in comparable]
+    rows = [
+        ("optimize() calls", len(calls)),
+        ("feasibility agreement", sum(
+            1
+            for a, g in zip(analytic_results, grid_results)
+            if (a is None) == (g is None)
+        )),
+        ("mean satisfaction delta (analytic - grid)", f"{statistics.mean(deltas):+.5f}"),
+        ("worst delta", f"{min(deltas):+.5f}"),
+        ("analytic total (ms)", f"{analytic_ms:.2f}"),
+        ("grid total (ms)", f"{grid_ms:.2f}"),
+        ("speedup", f"{grid_ms / analytic_ms:.1f}x"),
+    ]
+    save_artifact(
+        "ablation_optimizer.txt",
+        "E14 — analytic optimizer vs grid-search reference\n\n"
+        + format_table(["metric", "value"], rows),
+    )
+    # The analytic optimizer must never lose more than a whisker.
+    assert min(deltas) > -0.02

@@ -1,0 +1,74 @@
+"""E18 — extension: end-to-end delay bounds.
+
+Section 3's network profile lists "maximum delay" among the measured QoS
+characteristics, and the introduction names low delay as a strict
+multimedia requirement — but the worked example never binds it.  This
+bench sweeps a delay bound over a two-route scenario (good-but-far vs
+poor-but-near) and charts the satisfaction/latency trade-off the selector
+makes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.selection import QoSPathSelector
+
+from conftest import format_table
+from tests.test_delay_constraint import delay_world
+
+BOUNDS = (math.inf, 400.0, 200.0, 100.0, 50.0, 20.0, 5.0)
+
+
+def test_delay_bound_sweep(benchmark, save_artifact):
+    registry, graph, parameters, satisfaction = delay_world()
+
+    def run(bound: float):
+        return QoSPathSelector(
+            graph,
+            registry,
+            parameters,
+            satisfaction,
+            max_delay_ms=bound,
+            record_trace=False,
+        ).run()
+
+    benchmark(lambda: run(50.0))
+
+    rows = []
+    satisfactions = []
+    for bound in BOUNDS:
+        result = run(bound)
+        if result.success:
+            satisfactions.append(result.satisfaction)
+            rows.append(
+                (
+                    "unbounded" if math.isinf(bound) else f"{bound:.0f} ms",
+                    ",".join(result.path),
+                    f"{result.accumulated_delay_ms:.0f} ms",
+                    f"{result.satisfaction:.3f}",
+                )
+            )
+        else:
+            rows.append(
+                (
+                    f"{bound:.0f} ms",
+                    "TERMINATE(FAILURE)",
+                    "-",
+                    "-",
+                )
+            )
+    save_artifact(
+        "delay_constraint.txt",
+        "E18 — delay-bound sweep (good route: 200 ms, fast route: 20 ms)\n\n"
+        + format_table(
+            ["max delay", "selected path", "path delay", "satisfaction"], rows
+        ),
+    )
+    # Tightening the bound never raises satisfaction.
+    assert satisfactions == sorted(satisfactions, reverse=True)
+    # The crossover: bounds >= 200 take the good route, below it the fast
+    # one, below 20 nothing works.
+    assert rows[0][1].count("T_slow") == 1
+    assert rows[-2][1].count("T_fast") == 1
+    assert rows[-1][1] == "TERMINATE(FAILURE)"

@@ -1,0 +1,57 @@
+"""E1 — Figure 1: a possible satisfaction function for the frame rate.
+
+Regenerates the drawn curve (minimum acceptable 5 fps, ideal 20 fps,
+monotone rise) as a sampled series plus an ASCII rendering, and times the
+evaluation of the satisfaction model.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.paper import figure1_satisfaction
+
+from conftest import format_table
+
+
+def render_ascii(series, height: int = 12) -> str:
+    """A terminal sketch of the Figure 1 curve."""
+    lines = []
+    for level in range(height, -1, -1):
+        threshold = level / height
+        row = "".join(
+            "#" if satisfaction >= threshold - 1e-9 and satisfaction > 0 else " "
+            for _, satisfaction in series
+        )
+        label = f"{threshold:4.2f} |"
+        lines.append(label + row)
+    axis = "      +" + "-" * len(series)
+    ticks = "       " + "".join(
+        "^" if abs(x - round(x / 5) * 5) < 0.26 else " " for x, _ in series
+    )
+    labels = "       " + "".join(
+        f"{int(round(x))}".ljust(1) if abs(x - round(x / 5) * 5) < 0.26 else " "
+        for x, _ in series
+    )
+    return "\n".join(lines + [axis, ticks, labels])
+
+
+def test_figure1_series(benchmark, save_artifact):
+    fn = figure1_satisfaction()
+    series = benchmark(lambda: fn.series(0.0, 20.0, 41))
+
+    rows = [(f"{x:4.1f}", f"{s:.3f}") for x, s in series[::4]]
+    table = format_table(["frames/sec", "satisfaction"], rows)
+    sketch = render_ascii(series)
+    save_artifact(
+        "figure1_satisfaction.txt",
+        "Figure 1 — satisfaction function for the frame rate\n"
+        "(minimum acceptable = 5 fps -> S=0, ideal = 20 fps -> S=1)\n\n"
+        + table
+        + "\n\n"
+        + sketch,
+    )
+
+    # The paper's stated properties.
+    assert fn(5.0) == 0.0
+    assert fn(20.0) == 1.0
+    values = [s for _, s in series]
+    assert values == sorted(values)

@@ -1,0 +1,43 @@
+"""E2 — Figure 2: a trans-coding service with multiple input/output links.
+
+Regenerates the T1 vertex of the construction example — input links
+{F5, F6}, output links {F10, F11, F12, F13} — and times descriptor-level
+format matching, the primitive edge construction is built on.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.paper import figure2_service, figure3_scenario
+
+from conftest import format_table
+
+
+def test_figure2_vertex_links(benchmark, save_artifact):
+    service = figure2_service()
+    scenario = figure3_scenario()
+    others = list(scenario.catalog)
+
+    def match_all():
+        return {
+            other.service_id: service.matching_formats(other)
+            for other in others
+        }
+
+    matches = benchmark(match_all)
+
+    rows = [("input links", ", ".join(service.input_formats))]
+    rows.append(("output links", ", ".join(service.output_formats)))
+    feeders = [
+        f"{sid} via {', '.join(fmts)}" for sid, fmts in matches.items() if fmts
+    ]
+    rows.append(("fed by", "; ".join(feeders) or "(only the sender)"))
+    save_artifact(
+        "figure2_service_links.txt",
+        "Figure 2 — trans-coding service T1 with multiple I/O links\n\n"
+        + format_table(["property", "value"], rows),
+    )
+
+    assert set(service.input_formats) == {"F5", "F6"}
+    assert set(service.output_formats) == {"F10", "F11", "F12", "F13"}
+    # T2 produces F6, so it can feed T1 (the figure's second input link).
+    assert matches["T2"] == ("F6",)

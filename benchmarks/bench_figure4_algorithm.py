@@ -1,0 +1,72 @@
+"""E4 — Figure 4: the route-selection algorithm itself.
+
+Times one full run of the greedy QoS path selection over the paper's
+Figure 6 graph, and exercises both exits of the pseudo-code: Step 10
+(success: print the reverse path) and Step 3 (TERMINATE(FAILURE)).
+"""
+
+from __future__ import annotations
+
+from repro.core.selection import QoSPathSelector
+from repro.workloads.paper import figure6_scenario
+
+from conftest import format_table
+
+
+def test_figure4_selection_success_exit(benchmark, save_artifact):
+    scenario = figure6_scenario()
+    graph = scenario.build_graph()
+
+    def run():
+        return QoSPathSelector.for_user(
+            graph, scenario.registry, scenario.parameters, scenario.user
+        ).run()
+
+    result = benchmark(run)
+
+    rows = [
+        ("exit taken", "Step 10 (success)"),
+        ("reverse path printed", " <- ".join(reversed(result.path))),
+        ("rounds executed", str(result.rounds_run)),
+        ("user satisfaction", f"{result.satisfaction:.4f}"),
+        ("accumulated cost", f"{result.accumulated_cost:.2f}"),
+    ]
+    save_artifact(
+        "figure4_algorithm.txt",
+        "Figure 4 — route selection algorithm, success exit\n\n"
+        + format_table(["item", "value"], rows),
+    )
+
+    assert result.success
+    assert result.path == ("sender", "T7", "receiver")
+
+
+def test_figure4_failure_exit(benchmark, save_artifact):
+    """Step 3: 'if is_empty(CS) then TERMINATE(FAILURE)'.
+
+    A zero budget makes every candidate unaffordable, so CS never gains a
+    member and the algorithm must fail cleanly (and fast).
+    """
+    scenario = figure6_scenario(budget=0.0)
+    graph = scenario.build_graph()
+
+    def run():
+        return QoSPathSelector.for_user(
+            graph, scenario.registry, scenario.parameters, scenario.user
+        ).run()
+
+    result = benchmark(run)
+    save_artifact(
+        "figure4_failure.txt",
+        "Figure 4 — route selection algorithm, failure exit\n\n"
+        + format_table(
+            ["item", "value"],
+            [
+                ("exit taken", "Step 3 (TERMINATE FAILURE)"),
+                ("rounds executed", str(result.rounds_run)),
+                ("reason", result.failure_reason),
+            ],
+        ),
+    )
+    assert not result.success
+    assert result.rounds_run == 0

@@ -1,0 +1,63 @@
+"""E6 — Figure 6: the selected path with and without T7.
+
+The figure draws the example graph and marks the path the algorithm
+selects in both variants.  This bench regenerates both selections and
+times the with-T7 case end to end (graph construction + selection).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.paper import figure6_scenario
+
+from conftest import format_table
+
+
+def test_figure6_selected_paths(benchmark, save_artifact):
+    def plan_with_t7():
+        return figure6_scenario(include_t7=True).select()
+
+    with_t7 = benchmark(plan_with_t7)
+    without_t7 = figure6_scenario(include_t7=False).select()
+
+    rows = [
+        (
+            "with T7",
+            ",".join(with_t7.path),
+            f"{with_t7.delivered_frame_rate:.2f}",
+            f"{with_t7.satisfaction:.2f}",
+        ),
+        (
+            "without T7",
+            ",".join(without_t7.path),
+            f"{without_t7.delivered_frame_rate:.2f}",
+            f"{without_t7.satisfaction:.2f}",
+        ),
+    ]
+    save_artifact(
+        "figure6_paths.txt",
+        "Figure 6 — selected path with and without trans-coding service "
+        "T7\n\n"
+        + format_table(["variant", "selected path", "fps", "satisfaction"], rows),
+    )
+
+    assert with_t7.path == ("sender", "T7", "receiver")
+    assert f"{with_t7.satisfaction:.2f}" == "0.66"
+    assert without_t7.path == ("sender", "T8", "receiver")
+    assert without_t7.satisfaction < with_t7.satisfaction
+
+
+def test_figure6_graph_statistics(benchmark, save_artifact):
+    scenario = figure6_scenario()
+    graph = benchmark(scenario.build_graph)
+    rows = [
+        ("vertices", len(graph)),
+        ("edges", graph.edge_count()),
+        ("sender out-degree", len(graph.out_edges("sender"))),
+        ("receiver in-degree", len(graph.in_edges("receiver"))),
+        ("distinct-format paths", len(list(graph.enumerate_paths()))),
+    ]
+    save_artifact(
+        "figure6_graph_stats.txt",
+        "Figure 6 — graph statistics\n\n" + format_table(["metric", "value"], rows),
+    )
+    assert len(graph) == 19

@@ -1,0 +1,80 @@
+"""E17 — Section 1's motivating examples, reproduced.
+
+The introduction's two concrete claims:
+
+1. the JPEG→GIF conversion "can be carried out in two stages" by chaining
+   simple services — and doing so is cheaper than a monolithic converter;
+2. web adaptation (HTML→WML, tables→text) falls out of the same machinery.
+
+This bench runs both scenarios and regenerates the composition-vs-monolith
+comparison.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.intro import html_to_wml_scenario, jpeg_to_gif_scenario
+
+from conftest import format_table
+
+
+def test_jpeg_to_gif_two_stage_composition(benchmark, save_artifact):
+    def solve():
+        return jpeg_to_gif_scenario(include_monolith=True).select()
+
+    result = benchmark(solve)
+
+    # The monolith with a raised budget, for comparison.
+    rich = jpeg_to_gif_scenario(include_monolith=True)
+    rich.catalog.remove("color-reduce")
+    rich.catalog.remove("jpeg-to-gif")
+    rich.user.budget = 10.0
+    monolith = rich.select()
+
+    rows = [
+        (
+            "two-stage composition",
+            ",".join(result.path),
+            f"{result.accumulated_cost:.2f}",
+            f"{result.satisfaction:.3f}",
+        ),
+        (
+            "monolithic converter",
+            ",".join(monolith.path),
+            f"{monolith.accumulated_cost:.2f}",
+            f"{monolith.satisfaction:.3f}",
+        ),
+    ]
+    save_artifact(
+        "intro_jpeg_to_gif.txt",
+        "E17 — 256-color JPEG -> 2-color GIF (Section 1's example)\n\n"
+        + format_table(["strategy", "chain", "cost", "satisfaction"], rows),
+    )
+
+    assert result.path == ("sender", "color-reduce", "jpeg-to-gif", "receiver")
+    assert result.formats == ("jpeg-256c", "jpeg-2c", "gif-2c")
+    # Same delivered quality, a third of the price.
+    assert result.satisfaction == monolith.satisfaction
+    assert result.accumulated_cost < monolith.accumulated_cost
+
+
+def test_html_to_wml_adaptation(benchmark, save_artifact):
+    def solve():
+        return html_to_wml_scenario().select()
+
+    direct = benchmark(solve)
+    degraded = html_to_wml_scenario()
+    degraded.catalog.remove("html-to-wml")
+    fallback = degraded.select()
+
+    rows = [
+        ("direct converter", ",".join(direct.path), f"{direct.satisfaction:.3f}"),
+        ("fallback composition", ",".join(fallback.path), f"{fallback.satisfaction:.3f}"),
+    ]
+    save_artifact(
+        "intro_html_to_wml.txt",
+        "E17 — HTML -> WML web adaptation (Section 1's example)\n\n"
+        + format_table(["situation", "chain", "satisfaction"], rows),
+    )
+    assert direct.path == ("sender", "html-to-wml", "receiver")
+    assert fallback.path == ("sender", "table-to-text", "text-to-wml", "receiver")
+    assert fallback.satisfaction < direct.satisfaction

@@ -1,0 +1,150 @@
+"""E15 — extension: resilience through re-composition.
+
+The introduction argues composition makes trans-coding "fast and reliable
+since its components can be simpler and they can also be replicated across
+the network".  This bench measures that resilience directly: services are
+removed from the Figure 6 catalog in decreasing order of usefulness and the
+selection re-runs after each removal, charting how gracefully satisfaction
+degrades before delivery finally fails.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import AdaptationGraphBuilder
+from repro.core.selection import QoSPathSelector
+from repro.network.placement import ServicePlacement
+from repro.services.catalog import ServiceCatalog
+from repro.workloads.paper import figure6_scenario
+
+from conftest import format_table
+
+
+def run_without(scenario, removed):
+    """Re-run selection with some services removed from the catalog."""
+    catalog = ServiceCatalog(
+        d for d in scenario.catalog if d.service_id not in removed
+    )
+    placement = ServicePlacement(
+        scenario.topology,
+        {
+            sid: node
+            for sid, node in scenario.placement.as_dict().items()
+            if sid not in removed
+        },
+    )
+    graph = AdaptationGraphBuilder(catalog, placement).build(
+        scenario.content,
+        scenario.device,
+        scenario.sender_node,
+        scenario.receiver_node,
+    )
+    return QoSPathSelector.for_user(
+        graph,
+        scenario.registry,
+        scenario.parameters,
+        scenario.user,
+        record_trace=False,
+    ).run()
+
+
+def test_graceful_degradation(benchmark, save_artifact):
+    scenario = figure6_scenario()
+
+    benchmark(lambda: run_without(scenario, set()))
+
+    removed: set = set()
+    rows = []
+    satisfactions = []
+    while True:
+        result = run_without(scenario, removed)
+        rows.append(
+            (
+                len(removed),
+                ",".join(sorted(removed, key=lambda s: int(s[1:]))) or "(none)",
+                ",".join(result.path) if result.success else "TERMINATE(FAILURE)",
+                f"{result.satisfaction:.3f}" if result.success else "-",
+            )
+        )
+        if not result.success:
+            break
+        satisfactions.append(result.satisfaction)
+        # Kill the transcoder the current best chain depends on.
+        casualties = [
+            sid for sid in result.path if sid not in ("sender", "receiver")
+        ]
+        if not casualties:
+            break  # direct delivery; nothing left to kill
+        removed = removed | set(casualties)
+
+    save_artifact(
+        "resilience.txt",
+        "E15 — graceful degradation as winning services fail "
+        "(Figure 6 scenario)\n\n"
+        + format_table(
+            ["failures", "removed services", "selected path", "satisfaction"],
+            rows,
+        ),
+    )
+
+    # Shape: satisfaction decreases monotonically, the framework survives
+    # several losses, and the very last row is the failure.
+    assert satisfactions == sorted(satisfactions, reverse=True)
+    assert len(satisfactions) >= 4  # at least four viable compositions
+    assert rows[-1][2] == "TERMINATE(FAILURE)"
+
+
+def test_replicated_services_mask_failures(benchmark, save_artifact):
+    """With a replica of the winning service on another host, losing the
+    primary costs (almost) nothing."""
+    from repro.services.descriptor import ServiceDescriptor
+
+    scenario = figure6_scenario()
+    # Clone T7 onto T8's host (same I/O signature, different id).
+    replica = ServiceDescriptor(
+        service_id="T7b",
+        input_formats=("F0",),
+        output_formats=("F7",),
+        cost=1.0,
+        description="replica of T7",
+    )
+    catalog = ServiceCatalog(list(scenario.catalog) + [replica])
+    placement = ServicePlacement(
+        scenario.topology, {**scenario.placement.as_dict(), "T7b": "n8"}
+    )
+
+    def select(removed=frozenset()):
+        graph = AdaptationGraphBuilder(
+            ServiceCatalog(d for d in catalog if d.service_id not in removed),
+            placement,
+        ).build(
+            scenario.content,
+            scenario.device,
+            scenario.sender_node,
+            scenario.receiver_node,
+        )
+        return QoSPathSelector.for_user(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            scenario.user,
+            record_trace=False,
+        ).run()
+
+    benchmark(lambda: select())
+
+    healthy = select()
+    after_loss = select(removed=frozenset({"T7"}))
+    rows = [
+        ("healthy", ",".join(healthy.path), f"{healthy.satisfaction:.3f}"),
+        ("T7 lost", ",".join(after_loss.path), f"{after_loss.satisfaction:.3f}"),
+    ]
+    save_artifact(
+        "resilience_replica.txt",
+        "E15 — a replica on another host masks the primary's failure\n\n"
+        + format_table(["state", "selected path", "satisfaction"], rows),
+    )
+    assert after_loss.success
+    assert after_loss.path == ("sender", "T7b", "receiver")
+    # The replica's host link (n8) carries F7 slightly differently, but
+    # the loss is bounded by the n8 access ceiling.
+    assert after_loss.satisfaction >= healthy.satisfaction - 0.05

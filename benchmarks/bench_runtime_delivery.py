@@ -1,0 +1,114 @@
+"""E12 — extension: end-to-end delivery through the runtime pipeline.
+
+Streams the Figure 6 plan over the simulated network under increasingly
+hostile conditions (static, diurnal sinusoid, bursty random walk) and
+reports the delivery metrics — the experiment the paper's framework is
+ultimately for.
+"""
+
+from __future__ import annotations
+
+from repro.network.bandwidth import RandomWalkBandwidth, SinusoidalBandwidth
+from repro.workloads.paper import figure6_scenario
+
+from conftest import format_table
+
+DURATION_S = 30.0
+
+
+def test_runtime_delivery_conditions(benchmark, save_artifact):
+    scenario = figure6_scenario()
+    session = scenario.session()
+    plan = session.plan()
+    assert plan.success
+
+    benchmark(lambda: session.deliver(plan, duration_s=DURATION_S))
+
+    conditions = [
+        ("static", None),
+        ("sinusoidal 30%", SinusoidalBandwidth(amplitude=0.3, period_s=11.0)),
+        ("sinusoidal 60%", SinusoidalBandwidth(amplitude=0.6, period_s=11.0)),
+        ("random walk", RandomWalkBandwidth(seed=7, step=0.15, floor=0.35)),
+    ]
+    rows = []
+    delivered = []
+    for name, model in conditions:
+        report = session.deliver(
+            plan, duration_s=DURATION_S, fluctuation=model, seed=1
+        )
+        delivered.append(report.frames_delivered)
+        rows.append(
+            (
+                name,
+                f"{report.average_frame_rate:.2f}",
+                f"{report.frame_rate_jitter:.2f}",
+                f"{report.loss_fraction * 100:.1f}%",
+                f"{report.startup_latency_s * 1000:.1f}",
+                f"{report.total_cost:.2f}",
+            )
+        )
+    save_artifact(
+        "runtime_delivery.txt",
+        f"E12 — delivery of the Figure 6 plan over {DURATION_S:.0f}s\n"
+        f"(path {','.join(plan.result.path)}, planned "
+        f"{plan.result.delivered_frame_rate:.2f} fps)\n\n"
+        + format_table(
+            [
+                "network condition",
+                "avg fps",
+                "jitter",
+                "frame loss",
+                "startup (ms)",
+                "cost",
+            ],
+            rows,
+        ),
+    )
+    # Hostile networks deliver no more than the calm one.
+    assert all(d <= delivered[0] for d in delivered[1:])
+    # And the heavier sinusoid hurts at least as much as the lighter one.
+    assert delivered[2] <= delivered[1]
+
+
+def test_runtime_startup_latency_scales_with_chain_length(benchmark, save_artifact):
+    """Longer chains pay more propagation + processing before first
+    frame."""
+    from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+    rows = []
+    latencies = {}
+    for hops in (1, 2, 4):
+        scenario = generate_scenario(
+            SyntheticConfig(
+                seed=42,
+                n_services=hops,
+                backbone_hops=hops,
+                n_formats=hops + 2,
+                extra_decoders=0,
+                cap_probability=0.0,
+            )
+        )
+        session = scenario.session(prune=False)
+        plan = session.plan()
+        assert plan.success
+        report = session.deliver(plan, duration_s=5.0)
+        latencies[hops] = report.startup_latency_s
+        rows.append(
+            (
+                hops,
+                ",".join(plan.result.path),
+                f"{report.startup_latency_s * 1000:.2f}",
+            )
+        )
+    save_artifact(
+        "runtime_startup_latency.txt",
+        "E12 — startup latency vs chain length\n\n"
+        + format_table(["backbone hops", "path", "startup (ms)"], rows),
+    )
+
+    scenario = generate_scenario(
+        SyntheticConfig(seed=42, n_services=2, backbone_hops=2, extra_decoders=0)
+    )
+    session = scenario.session(prune=False)
+    plan = session.plan()
+    benchmark(lambda: session.deliver(plan, duration_s=5.0))

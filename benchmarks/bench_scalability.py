@@ -1,0 +1,126 @@
+"""E8 — extension: scalability of the greedy selector vs the baselines.
+
+The paper notes its algorithm has 'similar complexity' to shortest-path
+search; this bench measures that: wall-clock and achieved satisfaction for
+the greedy selector against the classic baselines while the service count
+grows.  Exhaustive search is included while it stays tractable, to show
+the quality gap (none) and the cost gap (exponential).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.core.baselines import (
+    CheapestPathSelector,
+    ExhaustiveSelector,
+    FewestHopsSelector,
+    RandomPathSelector,
+    WidestPathSelector,
+)
+from repro.core.selection import QoSPathSelector
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+from conftest import format_table
+
+SIZES = (10, 25, 50, 100, 200)
+SEEDS_PER_SIZE = 3
+EXHAUSTIVE_LIMIT = 50  # beyond this the enumeration is left out
+
+
+def _run_once(scenario, graph, name):
+    args = (
+        graph,
+        scenario.registry,
+        scenario.parameters,
+        scenario.user.satisfaction(),
+        scenario.user.budget,
+    )
+    if name == "greedy":
+        selector = QoSPathSelector.for_user(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            scenario.user,
+            record_trace=False,
+        )
+    elif name == "exhaustive":
+        selector = ExhaustiveSelector(*args, max_paths=100_000)
+    elif name == "fewest-hops":
+        selector = FewestHopsSelector(*args)
+    elif name == "widest":
+        selector = WidestPathSelector(*args)
+    elif name == "cheapest":
+        selector = CheapestPathSelector(*args)
+    else:
+        selector = RandomPathSelector(*args, seed=0)
+    start = time.perf_counter()
+    result = selector.run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_scalability_sweep(benchmark, save_artifact):
+    medium = generate_scenario(SyntheticConfig(seed=0, n_services=50, n_nodes=16))
+    medium_graph = medium.build_graph()
+    benchmark(
+        lambda: QoSPathSelector.for_user(
+            medium_graph,
+            medium.registry,
+            medium.parameters,
+            medium.user,
+            record_trace=False,
+        ).run()
+    )
+
+    rows = []
+    for size in SIZES:
+        names = ["greedy", "fewest-hops", "widest", "cheapest", "random"]
+        if size <= EXHAUSTIVE_LIMIT:
+            names.insert(1, "exhaustive")
+        per_algo = {name: {"sat": [], "ms": []} for name in names}
+        for seed in range(SEEDS_PER_SIZE):
+            scenario = generate_scenario(
+                SyntheticConfig(
+                    seed=seed,
+                    n_services=size,
+                    n_nodes=max(6, size // 6),
+                    n_formats=max(8, size // 4),
+                )
+            )
+            graph = scenario.build_graph()
+            for name in names:
+                result, elapsed = _run_once(scenario, graph, name)
+                per_algo[name]["sat"].append(
+                    result.satisfaction if result.success else 0.0
+                )
+                per_algo[name]["ms"].append(elapsed * 1000.0)
+        for name in names:
+            rows.append(
+                (
+                    size,
+                    name,
+                    f"{statistics.mean(per_algo[name]['sat']):.4f}",
+                    f"{statistics.mean(per_algo[name]['ms']):.2f}",
+                )
+            )
+
+    save_artifact(
+        "scalability.txt",
+        "E8 — scalability sweep (mean over "
+        f"{SEEDS_PER_SIZE} seeds per size)\n\n"
+        + format_table(
+            ["services", "algorithm", "mean satisfaction", "mean time (ms)"], rows
+        ),
+    )
+
+    # Shape assertions: greedy matches exhaustive where both ran and never
+    # loses to the classic heuristics.
+    by_key = {(size, name): row for size, name, *row in rows}
+    for size in SIZES:
+        greedy_sat = float(by_key[(size, "greedy")][0])
+        for rival in ("fewest-hops", "widest", "cheapest", "random"):
+            assert greedy_sat >= float(by_key[(size, rival)][0]) - 1e-9
+        if size <= EXHAUSTIVE_LIMIT:
+            assert abs(greedy_sat - float(by_key[(size, "exhaustive")][0])) < 1e-6

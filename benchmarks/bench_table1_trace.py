@@ -1,0 +1,69 @@
+"""E7 — Table 1: the 15-round step-by-step selection trace.
+
+Regenerates the paper's Table 1 from the reconstructed Figure 6 scenario
+and verifies every cell (VT, CS, selected service, selected path, delivered
+frame rate, user satisfaction) against the printed values.  The benchmark
+times one full traced selection run.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.paper import figure6_scenario, table1_expected_rows
+
+from conftest import format_table
+
+
+def test_table1_regeneration(benchmark, save_artifact):
+    scenario = figure6_scenario()
+    graph = scenario.build_graph()
+
+    def traced_run():
+        return scenario.selector(graph=graph).run()
+
+    result = benchmark(traced_run)
+
+    save_artifact("table1_trace.txt", "Table 1 — regenerated\n\n" + result.trace.render())
+
+    expected = table1_expected_rows()
+    assert len(result.trace) == len(expected) == 15
+    mismatches = []
+    for index, (row, exp) in enumerate(zip(result.trace.rounds, expected), 1):
+        observed = (
+            row.considered_set,
+            row.candidate_set,
+            row.selected,
+            row.path,
+            row.displayed_frame_rate(),
+            row.displayed_satisfaction(),
+        )
+        printed = (
+            exp["vt"],
+            exp["cs"],
+            exp["selected"],
+            exp["path"],
+            exp["frame_rate"],
+            exp["satisfaction"],
+        )
+        if observed != printed:
+            mismatches.append(index)
+    comparison = format_table(
+        ["round", "selected", "path", "fps", "satisfaction", "matches paper"],
+        [
+            (
+                row.number,
+                row.selected,
+                ",".join(row.path),
+                row.displayed_frame_rate(),
+                row.displayed_satisfaction(),
+                "no" if row.number in mismatches else "yes",
+            )
+            for row in result.trace.rounds
+        ],
+    )
+    save_artifact(
+        "table1_comparison.txt",
+        "Table 1 — cell-by-cell comparison against the paper\n\n"
+        + comparison
+        + f"\n\nmatching rounds: {15 - len(mismatches)}/15",
+    )
+    assert mismatches == []

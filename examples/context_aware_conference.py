@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Context-aware conferencing: profiles changing the plan at runtime.
+
+The paper's Section 3 motivates per-context and per-peer adaptation: a
+customer-service representative wants CD-quality audio with clients but
+telephone quality with colleagues, and the environment (a noisy street, a
+meeting room, a car) constrains what is worth delivering at all.
+
+This example plans the *same* video stream for the same user under four
+situations and shows how the framework's answer changes:
+
+1. at the desk, talking to a colleague;
+2. at the desk, talking to a client (peer override raises the bar);
+3. in a meeting (context mutes audio);
+4. driving (context kills video entirely — the plan collapses).
+
+Run:
+    python examples/context_aware_conference.py
+"""
+
+from repro import (
+    ContentProfile,
+    ContentVariant,
+    Configuration,
+    ContextProfile,
+    DeviceProfile,
+    FormatRegistry,
+    MediaType,
+    NetworkTopology,
+    ServiceCatalog,
+    ServiceDescriptor,
+    ServicePlacement,
+    UserProfile,
+)
+from repro.core.parameters import (
+    AUDIO_QUALITY,
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import LinearSatisfaction, StepSatisfaction
+from repro.workloads.scenario import Scenario
+
+
+def build_world():
+    registry = FormatRegistry()
+    registry.define("raw-conf", MediaType.VIDEO, codec="conf", compression_ratio=15.0)
+    registry.define("conf-lite", MediaType.VIDEO, codec="conf-lite", compression_ratio=70.0)
+
+    topology = NetworkTopology()
+    topology.node("studio")
+    topology.node("mcu")  # the conference bridge hosts the transcoder
+    topology.node("laptop")
+    topology.link("studio", "mcu", 10e6, delay_ms=5.0)
+    # Deliberately too narrow for 30 fps video *and* CD audio together —
+    # the optimizer has to trade one against the other.
+    topology.link("mcu", "laptop", 0.95e6, delay_ms=15.0)
+
+    catalog = ServiceCatalog(
+        [
+            ServiceDescriptor(
+                service_id="bridge-transcoder",
+                input_formats=("raw-conf",),
+                output_formats=("conf-lite",),
+                output_caps={FRAME_RATE: 30.0},
+                cost=0.1,
+            )
+        ]
+    )
+    placement = ServicePlacement(topology, {"bridge-transcoder": "mcu"})
+
+    parameters = ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 30.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([320.0 * 240.0])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([24.0])),
+            Parameter(
+                AUDIO_QUALITY, "kbps", DiscreteDomain([0.0, 8.0, 64.0, 256.0])
+            ),
+        ]
+    )
+    content = ContentProfile(
+        content_id="conference-feed",
+        variants=[
+            ContentVariant(
+                format=registry.get("raw-conf"),
+                configuration=Configuration(
+                    {
+                        FRAME_RATE: 30.0,
+                        RESOLUTION: 320.0 * 240.0,
+                        COLOR_DEPTH: 24.0,
+                        AUDIO_QUALITY: 256.0,
+                    }
+                ),
+            )
+        ],
+    )
+    device = DeviceProfile(
+        device_id="laptop", decoders=["conf-lite"], max_frame_rate=30.0
+    )
+    # Base preferences: decent motion, telephone-grade audio is enough.
+    # With clients (peer override), only CD-grade audio scores 1.0.
+    user = UserProfile(
+        user_id="rep",
+        satisfaction_functions={
+            FRAME_RATE: LinearSatisfaction(2.0, 25.0),
+            AUDIO_QUALITY: StepSatisfaction([(8.0, 0.8), (64.0, 1.0)]),
+        },
+        peer_overrides={
+            "client": {
+                AUDIO_QUALITY: StepSatisfaction([(8.0, 0.2), (64.0, 0.7), (256.0, 1.0)])
+            }
+        },
+        budget=5.0,
+    )
+    return registry, parameters, catalog, topology, placement, content, device, user
+
+
+def plan_for(situation, context, peer, pieces):
+    registry, parameters, catalog, topology, placement, content, device, user = pieces
+    scenario = Scenario(
+        name=situation,
+        registry=registry,
+        parameters=parameters,
+        catalog=catalog,
+        topology=topology,
+        placement=placement,
+        content=content,
+        device=device,
+        user=user,
+        sender_node="studio",
+        receiver_node="laptop",
+        context=context,
+    )
+    graph = scenario.build_graph()
+    from repro.core.selection import QoSPathSelector
+
+    result = QoSPathSelector.for_user(
+        graph, registry, parameters, user, peer=peer
+    ).run()
+    config = result.configuration
+    print(f"{situation:<28} ", end="")
+    if not result.success:
+        print("-> no acceptable plan")
+        return
+    print(
+        f"-> {','.join(result.path)}  "
+        f"fps={config.get_value(FRAME_RATE, 0):5.2f}  "
+        f"audio={config.get_value(AUDIO_QUALITY, 0):5.1f}kbps  "
+        f"S={result.satisfaction:.3f}"
+    )
+
+
+def main() -> None:
+    pieces = build_world()
+    print("Planning the same conference feed under four situations:\n")
+    plan_for("desk, with a colleague", ContextProfile(), None, pieces)
+    plan_for("desk, with a client", ContextProfile(), "client", pieces)
+    plan_for("in a meeting (audio muted)", ContextProfile(activity="meeting"), None, pieces)
+    plan_for("driving (video dropped)", ContextProfile(activity="driving"), None, pieces)
+    print(
+        "\nThe context profile tightens the receiver's caps before the "
+        "graph is built,\nand the peer override swaps in stricter "
+        "satisfaction functions — both without\nchanging a line of the "
+        "selection algorithm."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Heterogeneous clients: one content item, many devices, many chains.
+
+The paper's introduction motivates the whole framework with client
+diversity: "Clients range from a small single-task audio player to a
+complex, multi-task, multi-function desktop computer."  This example
+serves the same stored content to four very different devices over one
+shared proxy infrastructure and prints the chain, configuration, and
+satisfaction the framework picks for each — plus what happens as the
+population of proxies shrinks (resilience through re-composition).
+
+Run:
+    python examples/heterogeneous_devices.py
+"""
+
+from repro import (
+    ContentProfile,
+    ContentVariant,
+    Configuration,
+    DeviceProfile,
+    FormatRegistry,
+    MediaType,
+    NetworkTopology,
+    ServiceCatalog,
+    ServiceDescriptor,
+    ServicePlacement,
+    UserProfile,
+)
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import LinearSatisfaction
+from repro.core.selection import QoSPathSelector
+from repro.workloads.scenario import Scenario
+
+QVGA = 320.0 * 240.0
+QCIF = 176.0 * 144.0
+VGA = 640.0 * 480.0
+
+
+def build_infrastructure():
+    registry = FormatRegistry()
+    registry.define("mpeg2", MediaType.VIDEO, codec="mpeg2", compression_ratio=20.0)
+    registry.define("mpeg4", MediaType.VIDEO, codec="mpeg4", compression_ratio=55.0)
+    registry.define("h263", MediaType.VIDEO, codec="h263", compression_ratio=85.0)
+    registry.define("mjpeg-gray", MediaType.VIDEO, codec="mjpeg", compression_ratio=30.0)
+
+    topology = NetworkTopology()
+    topology.node("origin")
+    for proxy in ("p1", "p2", "p3"):
+        topology.node(proxy)
+    for client in ("desktop", "tablet", "phone", "kiosk"):
+        topology.node(client)
+    topology.link("origin", "p1", 40e6, delay_ms=4.0)
+    topology.link("origin", "p2", 40e6, delay_ms=4.0)
+    topology.link("p1", "p3", 15e6, delay_ms=6.0)
+    topology.link("p2", "p3", 15e6, delay_ms=6.0)
+    topology.link("p1", "desktop", 20e6, delay_ms=5.0)
+    topology.link("p2", "tablet", 6e6, delay_ms=12.0)
+    topology.link("p3", "phone", 0.8e6, delay_ms=35.0)
+    topology.link("p3", "kiosk", 2.5e6, delay_ms=8.0)
+
+    services = [
+        ServiceDescriptor(
+            service_id="mp4-encode@p1",
+            input_formats=("mpeg2",),
+            output_formats=("mpeg4",),
+            cost=0.5,
+        ),
+        ServiceDescriptor(
+            service_id="mp4-encode@p2",
+            input_formats=("mpeg2",),
+            output_formats=("mpeg4",),
+            cost=0.5,
+        ),
+        ServiceDescriptor(
+            service_id="mobilize@p3",
+            input_formats=("mpeg4", "mpeg2"),
+            output_formats=("h263",),
+            output_caps={FRAME_RATE: 20.0, RESOLUTION: QCIF},
+            cost=0.3,
+        ),
+        ServiceDescriptor(
+            service_id="grayscale@p3",
+            input_formats=("mpeg2", "mpeg4"),
+            output_formats=("mjpeg-gray",),
+            output_caps={COLOR_DEPTH: 8.0},
+            cost=0.2,
+        ),
+    ]
+    catalog = ServiceCatalog(services)
+    placement = ServicePlacement(
+        topology,
+        {
+            "mp4-encode@p1": "p1",
+            "mp4-encode@p2": "p2",
+            "mobilize@p3": "p3",
+            "grayscale@p3": "p3",
+        },
+    )
+    return registry, topology, catalog, placement
+
+
+DEVICES = [
+    DeviceProfile("desktop", decoders=["mpeg2", "mpeg4"], max_frame_rate=30.0),
+    DeviceProfile(
+        "tablet", decoders=["mpeg4"], max_frame_rate=30.0, max_resolution=QVGA
+    ),
+    DeviceProfile(
+        "phone", decoders=["h263"], max_frame_rate=20.0, max_resolution=QCIF
+    ),
+    DeviceProfile(
+        "kiosk",
+        decoders=["mjpeg-gray"],
+        max_frame_rate=15.0,
+        max_color_depth=8.0,
+    ),
+]
+
+
+def main() -> None:
+    registry, topology, catalog, placement = build_infrastructure()
+    parameters = ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 30.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([QCIF, QVGA, VGA])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([8.0, 24.0])),
+        ]
+    )
+    content = ContentProfile(
+        content_id="keynote",
+        variants=[
+            ContentVariant(
+                format=registry.get("mpeg2"),
+                configuration=Configuration(
+                    {FRAME_RATE: 30.0, RESOLUTION: VGA, COLOR_DEPTH: 24.0}
+                ),
+            )
+        ],
+    )
+    user = UserProfile(
+        user_id="viewer",
+        satisfaction_functions={
+            FRAME_RATE: LinearSatisfaction(1.0, 30.0),
+            RESOLUTION: LinearSatisfaction(0.0, VGA),
+        },
+        budget=10.0,
+    )
+
+    print("One keynote stream, four devices:\n")
+    for device in DEVICES:
+        scenario = Scenario(
+            name=device.device_id,
+            registry=registry,
+            parameters=parameters,
+            catalog=catalog,
+            topology=topology,
+            placement=placement,
+            content=content,
+            device=device,
+            user=user,
+            sender_node="origin",
+            receiver_node=device.device_id,
+        )
+        result = scenario.select()
+        if not result.success:
+            print(f"{device.device_id:<8} -> no feasible chain")
+            continue
+        config = result.configuration
+        print(
+            f"{device.device_id:<8} -> {' -> '.join(result.path):<52} "
+            f"fps={config[FRAME_RATE]:5.2f} "
+            f"px={int(config[RESOLUTION]):>6} "
+            f"depth={int(config[COLOR_DEPTH]):>2}  "
+            f"S={result.satisfaction:.3f}"
+        )
+
+    # Resilience: kill proxy p1's encoder; the phone's chain re-composes
+    # through p2 without any client-visible configuration change.
+    print("\nProxy p1's encoder goes offline...")
+    catalog.remove("mp4-encode@p1")
+    placement.unplace("mp4-encode@p1")
+    phone = DEVICES[2]
+    scenario = Scenario(
+        name="phone-degraded",
+        registry=registry,
+        parameters=parameters,
+        catalog=catalog,
+        topology=topology,
+        placement=placement,
+        content=content,
+        device=phone,
+        user=user,
+        sender_node="origin",
+        receiver_node="phone",
+    )
+    result = scenario.select()
+    graph = scenario.build_graph()
+    print(
+        f"phone    -> {' -> '.join(result.path)}  "
+        f"S={result.satisfaction:.3f}  "
+        f"(graph: {len(graph)} vertices, {graph.edge_count()} edges)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+A small operational surface over the library::
+
+    python -m repro.cli table1                 # regenerate the paper's Table 1
+    python -m repro.cli figure6 [--without-t7] # the worked example's result
+    python -m repro.cli synthetic --seed 7 --services 30 [--deliver 10]
+    python -m repro.cli analyze figure6        # graph analytics
+    python -m repro.cli catalog --seed 7       # dump a catalog as WSDL XML
+
+(Also installed as the ``repro`` console script.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import GraphAnalysis
+from repro.discovery.wsdl import catalog_to_wsdl
+from repro.workloads.io import load_scenario, save_scenario
+from repro.workloads.lint import Severity, lint_scenario
+from repro.workloads.paper import figure3_scenario, figure6_scenario
+from repro.workloads.scenario import Scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _paper_scenario(name: str, include_t7: bool = True) -> Scenario:
+    if name == "figure6":
+        return figure6_scenario(include_t7=include_t7)
+    if name == "figure3":
+        return figure3_scenario()
+    raise SystemExit(f"unknown paper scenario: {name!r} (figure3|figure6)")
+
+
+def cmd_table1(args: argparse.Namespace, out) -> int:
+    result = figure6_scenario().select()
+    print(result.trace.render(), file=out)
+    print(file=out)
+    print(result.describe(), file=out)
+    return 0
+
+
+def cmd_figure6(args: argparse.Namespace, out) -> int:
+    scenario = figure6_scenario(include_t7=not args.without_t7)
+    result = scenario.select()
+    if not result.success:
+        print(f"FAILURE: {result.failure_reason}", file=out)
+        return 1
+    print(f"selected path:  {','.join(result.path)}", file=out)
+    print(f"via formats:    {' -> '.join(result.formats)}", file=out)
+    print(f"frame rate:     {result.delivered_frame_rate:.2f} fps", file=out)
+    print(f"satisfaction:   {result.satisfaction:.4f}", file=out)
+    print(f"cost:           {result.accumulated_cost:.2f}", file=out)
+    return 0
+
+
+def cmd_synthetic(args: argparse.Namespace, out) -> int:
+    scenario = generate_scenario(
+        SyntheticConfig(
+            seed=args.seed,
+            n_services=args.services,
+            n_formats=args.formats,
+            n_nodes=args.nodes,
+        )
+    )
+    print(scenario.description, file=out)
+    result = scenario.select()
+    if not result.success:
+        print(f"FAILURE: {result.failure_reason}", file=out)
+        return 1
+    print(result.describe(), file=out)
+    if args.deliver is not None:
+        session = scenario.session()
+        plan = session.plan()
+        report = session.deliver(plan, duration_s=args.deliver)
+        print(file=out)
+        print(report.summary(), file=out)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out) -> int:
+    if args.scenario in ("figure3", "figure6"):
+        scenario = _paper_scenario(args.scenario)
+    else:
+        try:
+            seed = int(args.scenario)
+        except ValueError:
+            raise SystemExit(
+                f"scenario must be figure3, figure6, or a synthetic seed, "
+                f"got {args.scenario!r}"
+            )
+        scenario = generate_scenario(SyntheticConfig(seed=seed))
+    graph = scenario.build_graph()
+    print(f"scenario: {scenario.name}", file=out)
+    print(GraphAnalysis(graph).summary(), file=out)
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace, out) -> int:
+    if args.paper:
+        scenario = _paper_scenario(args.paper)
+    else:
+        scenario = generate_scenario(SyntheticConfig(seed=args.seed))
+    print(catalog_to_wsdl(scenario.catalog), file=out)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace, out) -> int:
+    if args.paper:
+        scenario = _paper_scenario(args.paper)
+    else:
+        scenario = generate_scenario(SyntheticConfig(seed=args.seed))
+    path = save_scenario(scenario, args.path)
+    print(f"wrote {scenario.name!r} to {path}", file=out)
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace, out) -> int:
+    scenario = load_scenario(args.path)
+    print(f"scenario: {scenario.name}", file=out)
+    result = scenario.select()
+    if not result.success:
+        print(f"FAILURE: {result.failure_reason}", file=out)
+        return 1
+    print(result.describe(), file=out)
+    if args.trace and result.trace is not None:
+        print(file=out)
+        print(result.trace.render(), file=out)
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    scenario = load_scenario(args.path)
+    findings = lint_scenario(scenario)
+    if not findings:
+        print(f"{scenario.name}: clean", file=out)
+        return 0
+    for finding in findings:
+        print(str(finding), file=out)
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QoS-based service composition for content adaptation "
+        "(ICDE 2007 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("table1", help="regenerate the paper's Table 1")
+
+    figure6 = commands.add_parser("figure6", help="run the worked example")
+    figure6.add_argument(
+        "--without-t7",
+        action="store_true",
+        help="remove trans-coding service T7 (the Figure 6 variant)",
+    )
+
+    synthetic = commands.add_parser(
+        "synthetic", help="generate and solve a synthetic scenario"
+    )
+    synthetic.add_argument("--seed", type=int, default=0)
+    synthetic.add_argument("--services", type=int, default=30)
+    synthetic.add_argument("--formats", type=int, default=12)
+    synthetic.add_argument("--nodes", type=int, default=10)
+    synthetic.add_argument(
+        "--deliver",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also stream the plan for SECONDS and print the report",
+    )
+
+    analyze = commands.add_parser("analyze", help="graph analytics")
+    analyze.add_argument(
+        "scenario",
+        help="figure3, figure6, or an integer synthetic seed",
+    )
+
+    export = commands.add_parser("export", help="save a scenario to a JSON file")
+    export.add_argument("path", help="output file")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument(
+        "--paper", choices=("figure3", "figure6"), default=None,
+        help="export a paper scenario instead of a synthetic one",
+    )
+
+    solve = commands.add_parser("solve", help="run selection on a saved scenario")
+    solve.add_argument("path", help="scenario JSON file")
+    solve.add_argument("--trace", action="store_true", help="print the round trace")
+
+    lint = commands.add_parser("lint", help="cross-check a saved scenario")
+    lint.add_argument("path", help="scenario JSON file")
+
+    catalog = commands.add_parser("catalog", help="dump a catalog as WSDL XML")
+    catalog.add_argument("--seed", type=int, default=0)
+    catalog.add_argument(
+        "--paper",
+        choices=("figure3", "figure6"),
+        default=None,
+        help="dump a paper scenario's catalog instead of a synthetic one",
+    )
+
+    return parser
+
+
+_HANDLERS = {
+    "table1": cmd_table1,
+    "figure6": cmd_figure6,
+    "synthetic": cmd_synthetic,
+    "analyze": cmd_analyze,
+    "catalog": cmd_catalog,
+    "export": cmd_export,
+    "solve": cmd_solve,
+    "lint": cmd_lint,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    stream = out if out is not None else sys.stdout
+    return _HANDLERS[args.command](args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Concrete QoS parameter configurations.
+
+A :class:`Configuration` is an immutable assignment of values to QoS
+parameter names — "the configuration for each trans-coding service" the
+selection algorithm chooses (Section 4.4).  Configurations know how to
+
+- compute the bandwidth they require in a given media format (the left-hand
+  side of Equation 2);
+- compare themselves component-wise (quality *dominance*), which encodes the
+  paper's core assumption that transcoders can only reduce quality;
+- cap themselves against another configuration or against per-parameter
+  limits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional
+
+from repro.core.parameters import (
+    AUDIO_QUALITY,
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+)
+from repro.errors import UnknownParameterError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (formats imports us)
+    from repro.formats.format import MediaFormat
+
+__all__ = ["Configuration"]
+
+
+class Configuration(Mapping[str, float]):
+    """An immutable mapping of QoS parameter names to values."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, float]) -> None:
+        if not values:
+            raise ValidationError("a configuration must assign at least one parameter")
+        clean: Dict[str, float] = {}
+        for name, value in values.items():
+            fvalue = float(value)
+            if fvalue < 0:
+                raise ValidationError(
+                    f"parameter {name!r} must be non-negative, got {fvalue}"
+                )
+            clean[name] = fvalue
+        self._values = clean
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise UnknownParameterError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return dict(self._values) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._values.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Configuration({inner})"
+
+    # ------------------------------------------------------------------
+    # Quality ordering
+    # ------------------------------------------------------------------
+    def dominates(self, other: "Configuration") -> bool:
+        """True when every shared parameter of ``self`` is >= ``other``'s.
+
+        Parameters present in only one configuration are ignored.  This is
+        the partial order in which transcoders move monotonically downward.
+        """
+        return all(
+            self._values[name] >= other._values[name]
+            for name in self._values
+            if name in other._values
+        )
+
+    def capped_by(self, limits: Mapping[str, float]) -> "Configuration":
+        """A copy with every parameter reduced to at most ``limits[name]``.
+
+        Parameters without an entry in ``limits`` pass through unchanged.
+        This implements quality monotonicity: a transcoder's output is the
+        input configuration capped by the transcoder's capabilities.
+        """
+        return Configuration(
+            {
+                name: min(value, limits[name]) if name in limits else value
+                for name, value in self._values.items()
+            }
+        )
+
+    def with_value(self, name: str, value: float) -> "Configuration":
+        """A copy with one parameter replaced (added if absent)."""
+        merged = dict(self._values)
+        merged[name] = float(value)
+        return Configuration(merged)
+
+    # ------------------------------------------------------------------
+    # Bandwidth (Equation 2, left-hand side)
+    # ------------------------------------------------------------------
+    def required_bandwidth(self, fmt: "MediaFormat") -> float:
+        """Bits/second needed to carry this configuration in ``fmt``.
+
+        Missing parameters default to 0, so a pure-audio configuration in a
+        video format contributes only its audio term.
+        """
+        return fmt.required_bandwidth(
+            frame_rate=self._values.get(FRAME_RATE, 0.0),
+            resolution_pixels=self._values.get(RESOLUTION, 0.0),
+            color_depth=self._values.get(COLOR_DEPTH, 0.0),
+            audio_kbps=self._values.get(AUDIO_QUALITY, 0.0),
+        )
+
+    def fits_bandwidth(self, fmt: "MediaFormat", bandwidth_bps: float) -> bool:
+        """Whether this configuration satisfies Equation 2 for a link.
+
+        A tiny relative tolerance absorbs floating-point noise from the
+        bandwidth inversion used by the optimizer.
+        """
+        required = self.required_bandwidth(fmt)
+        return required <= bandwidth_bps * (1.0 + 1e-9)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def get_value(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        """Like :meth:`dict.get` but spelled out for readability."""
+        return self._values.get(name, default)
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain mutable copy of the assignment."""
+        return dict(self._values)

@@ -1,0 +1,141 @@
+"""Grid-search reference optimizer.
+
+The production :class:`~repro.core.optimizer.ConfigurationOptimizer` uses
+an analytic three-phase strategy (free reductions → quality-ray bisection →
+greedy polish).  This module provides the brute-force alternative — an
+exhaustive search over a sampled grid of the feasible region — with the
+same ``optimize()`` contract.  It exists for three reasons:
+
+1. **cross-validation**: the property suite compares the analytic
+   optimizer against the grid on random constraint sets;
+2. **ablation**: the E14 bench quantifies the speed/quality trade-off;
+3. **escape hatch**: exotic satisfaction shapes (where the proportional
+   quality ray is far from optimal) can plug the grid optimizer into the
+   selector via the shared interface.
+
+Grid resolution is per-parameter: discrete domains enumerate every
+feasible value; continuous domains are sampled at ``grid_points`` evenly
+spaced values (plus the exact bandwidth-fit value for each parameter,
+holding the others at their bound — which recovers the closed-form answer
+in the single-parameter case).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.optimizer import (
+    ConfigurationOptimizer,
+    OptimizationConstraints,
+    OptimizedChoice,
+)
+from repro.core.parameters import ContinuousDomain, ParameterSet
+from repro.core.satisfaction import CombinedSatisfaction
+from repro.errors import UnknownParameterError, ValidationError
+
+__all__ = ["GridSearchOptimizer"]
+
+
+class GridSearchOptimizer(ConfigurationOptimizer):
+    """Exhaustive search over a sampled feasible grid.
+
+    Shares bounds handling (and :meth:`evaluate`) with the analytic
+    optimizer; only the search strategy differs.
+    """
+
+    def __init__(
+        self,
+        parameters: ParameterSet,
+        satisfaction: CombinedSatisfaction,
+        degrade_order: Optional[Sequence[str]] = None,
+        grid_points: int = 17,
+    ) -> None:
+        super().__init__(parameters, satisfaction, degrade_order)
+        if grid_points < 2:
+            raise ValidationError("grid needs at least 2 points per axis")
+        self._grid_points = grid_points
+
+    def optimize(self, constraints: OptimizationConstraints) -> Optional[OptimizedChoice]:
+        upper = self._upper_bounds(constraints)
+        if upper is None:
+            return None
+        fmt, bandwidth = constraints.fmt, constraints.bandwidth_bps
+
+        ideal = Configuration(upper)
+        if ideal.fits_bandwidth(fmt, bandwidth):
+            return self._choice(ideal, fmt)
+
+        lower = self._lower_bounds(upper)
+        axes = self._axes(upper, lower, fmt, bandwidth)
+        best: Optional[Configuration] = None
+        best_score = -1.0
+        for values in itertools.product(*axes.values()):
+            config = Configuration(dict(zip(axes.keys(), values)))
+            if not config.fits_bandwidth(fmt, bandwidth):
+                continue
+            score = self.evaluate(config)
+            if score > best_score:
+                best, best_score = config, score
+        if best is None:
+            return None
+        return self._choice(best, fmt)
+
+    # ------------------------------------------------------------------
+    def _axes(
+        self,
+        upper: Dict[str, float],
+        lower: Dict[str, float],
+        fmt,
+        bandwidth: float,
+    ) -> Dict[str, List[float]]:
+        """Candidate values per parameter.
+
+        Each axis gets its domain samples restricted to [lower, upper],
+        plus the exact single-parameter bandwidth fit evaluated at the
+        configuration where every *other* parameter sits at its bound —
+        the corner that matters in the common one-free-parameter case.
+        """
+        axes: Dict[str, List[float]] = {}
+        for name, bound in upper.items():
+            if name not in self._parameters:
+                raise UnknownParameterError(name)
+            domain = self._parameters[name].domain
+            values = {
+                v
+                for v in domain.sample(self._grid_points)
+                if lower[name] <= v <= bound
+            }
+            values.add(bound)
+            values.add(lower[name])
+            axes[name] = sorted(values)
+
+        # Enrich continuous axes with the exact bandwidth fit at every
+        # combination of the *other* axes' values (capped for tractability)
+        # — this recovers the closed-form corners a uniform grid misses,
+        # e.g. "highest frame rate at full resolution but low depth".
+        combo_cap = 512
+        for name, bound in upper.items():
+            domain = self._parameters[name].domain
+            if not isinstance(domain, ContinuousDomain):
+                continue
+            other_names = [n for n in axes if n != name]
+            other_axes = [axes[n] for n in other_names]
+            combos = 1
+            for axis in other_axes:
+                combos *= len(axis)
+            if combos > combo_cap:
+                continue  # fall back to the plain samples on huge grids
+            extra: List[float] = []
+            for combo in itertools.product(*other_axes):
+                probe = Configuration(
+                    {name: 1.0, **dict(zip(other_names, combo))}
+                )
+                fit = self._fit_single(probe, name, fmt, bandwidth)
+                if not math.isinf(fit) and lower[name] <= fit <= bound:
+                    extra.append(fit)
+            if extra:
+                axes[name] = sorted(set(axes[name]) | set(extra))
+        return axes

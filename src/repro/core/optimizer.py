@@ -1,0 +1,430 @@
+"""Per-service configuration choice: the ``Optimize(...)`` step of Figure 4.
+
+For every candidate trans-coding service the selection algorithm "selects
+the QoS parameter values x_i that optimize the satisfaction function in
+Equa. 2, subject only to the constraint [of the] remaining user's budget and
+the bandwidth availability that connects Ti to Tprev" (Section 4.4).
+
+The feasible region for a candidate reached over edge ``(Tprev → Ti)`` in
+format ``f`` is:
+
+- **quality monotonicity** — every parameter is bounded above by the value
+  the upstream service achieved (transcoders only reduce quality);
+- **service capability** — every parameter is bounded above by the
+  service's advertised output cap;
+- **parameter domains** — values must be feasible (discrete sets snap down);
+- **bandwidth** (Equation 2) — ``bandwidth_requirement(x_1..x_n) <=
+  Bandwidth_AvailableBetween(Ti, Tprev)``, evaluated in the edge format's
+  compression model.
+
+(The budget constraint is configuration-independent, so the *selector*
+checks it; see :mod:`repro.core.selection`.)
+
+Because every satisfaction function is monotone non-decreasing and the
+bandwidth requirement is monotone increasing in every parameter, the
+unconstrained optimum is simply "everything at its upper bound"; only when
+that violates Equation 2 is there a real trade-off.  The paper does not
+specify how `Optimize` resolves it; we implement a deterministic four-phase
+strategy (documented in DESIGN.md):
+
+1. **Free reductions** — parameters the user has *no* satisfaction function
+   for are reduced first (toward their domain minimum, exact single-
+   parameter inversion), in the user's degrade-first policy order: they
+   cost bandwidth but buy no satisfaction.
+2. **Quality-ray bisection** — preference parameters are reduced jointly
+   along the ray from their domain minima to their upper bounds; bandwidth
+   is monotone along the ray, so the largest feasible ray position is found
+   by bisection.
+3. **Greedy polish** — leftover bandwidth (from discrete snapping) is spent
+   by raising parameters one at a time, *last-to-degrade first*, using
+   exact single-parameter inversion.
+4. **Discrete exchange** — bounded hill-climbing that steps discrete
+   preference parameters up past large domain gaps, re-fitting the
+   continuous ones; catches the corners a proportional ray cannot reach
+   (cross-validated against grid search in the tests and bench E14).
+
+For a single preference parameter (the paper's worked example) this
+degenerates to the exact closed-form inversion, e.g. the largest frame rate
+the link can carry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import DiscreteDomain, ParameterSet
+from repro.core.satisfaction import CombinedSatisfaction
+from repro.errors import UnknownParameterError
+from repro.formats.format import MediaFormat
+
+__all__ = ["OptimizationConstraints", "OptimizedChoice", "ConfigurationOptimizer"]
+
+#: Bisection iterations for the quality-ray phase; 2^-60 of the parameter
+#: range is far below any displayed precision.
+_BISECTION_STEPS = 60
+
+#: Relative tolerance when comparing a requirement against a bandwidth.
+_FIT_SLACK = 1.0 + 1e-9
+
+
+@dataclass(frozen=True)
+class OptimizationConstraints:
+    """The feasible region for one candidate service.
+
+    ``upstream`` is the configuration achieved by the parent service (the
+    quality ceiling); ``caps`` are the candidate's output capabilities;
+    ``fmt`` and ``bandwidth_bps`` describe the edge the stream must cross.
+    """
+
+    upstream: Configuration
+    caps: Mapping[str, float]
+    fmt: MediaFormat
+    bandwidth_bps: float
+
+
+@dataclass(frozen=True)
+class OptimizedChoice:
+    """The optimizer's answer for one candidate."""
+
+    configuration: Configuration
+    satisfaction: float
+    required_bandwidth_bps: float
+
+
+class ConfigurationOptimizer:
+    """Maximizes user satisfaction inside an :class:`OptimizationConstraints`
+    region."""
+
+    def __init__(
+        self,
+        parameters: ParameterSet,
+        satisfaction: CombinedSatisfaction,
+        degrade_order: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._parameters = parameters
+        self._satisfaction = satisfaction
+        #: First-to-degrade-first ordering over parameter names; parameters
+        #: not listed are degraded before listed ones (no stated preference
+        #: means no objection).
+        self._degrade_order = list(degrade_order or [])
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def optimize(self, constraints: OptimizationConstraints) -> Optional[OptimizedChoice]:
+        """Best feasible configuration, or ``None`` when nothing fits.
+
+        ``None`` means even every parameter at its domain minimum exceeds
+        the link bandwidth — the edge is unusable for this stream.
+        """
+        upper = self._upper_bounds(constraints)
+        if upper is None:
+            return None
+        fmt, bandwidth = constraints.fmt, constraints.bandwidth_bps
+
+        config = Configuration(upper)
+        if config.fits_bandwidth(fmt, bandwidth):
+            return self._choice(config, fmt)
+
+        lower = self._lower_bounds(upper)
+        floor_config = Configuration(lower)
+        if not floor_config.fits_bandwidth(fmt, bandwidth):
+            return None
+
+        config = self._reduce_free_parameters(upper, lower, fmt, bandwidth)
+        if not config.fits_bandwidth(fmt, bandwidth):
+            config = self._ray_bisection(config, lower, fmt, bandwidth)
+        config = self._polish(config, upper, fmt, bandwidth)
+        config = self._discrete_exchange(config, upper, lower, fmt, bandwidth)
+        return self._choice(config, fmt)
+
+    def evaluate(self, configuration: Configuration) -> float:
+        """Total satisfaction of a configuration (ignores constraints).
+
+        Parameters the user has preferences for but that are absent from
+        the configuration are skipped — the user cannot judge a dimension
+        the stream does not have.  With no judgeable dimension at all the
+        satisfaction is 0.
+        """
+        values = []
+        for name in self._satisfaction.parameter_names():
+            if name in configuration:
+                values.append(self._satisfaction.individual(name, configuration[name]))
+        if not values:
+            return 0.0
+        return self._satisfaction.combiner(values)
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def _upper_bounds(
+        self, constraints: OptimizationConstraints
+    ) -> Optional[Dict[str, float]]:
+        """Per-parameter ceilings: min(upstream, cap), snapped to the domain.
+
+        Returns ``None`` when some ceiling falls below the parameter's
+        domain minimum (no feasible value exists at all).
+        """
+        upper: Dict[str, float] = {}
+        for name, upstream_value in constraints.upstream.items():
+            if name not in self._parameters:
+                raise UnknownParameterError(name)
+            ceiling = min(upstream_value, constraints.caps.get(name, math.inf))
+            snapped = self._parameters[name].clamp_down(ceiling)
+            if snapped is None:
+                return None
+            upper[name] = snapped
+        return upper
+
+    def _lower_bounds(self, upper: Mapping[str, float]) -> Dict[str, float]:
+        """Domain minima (never above the upper bound)."""
+        return {
+            name: min(self._parameters[name].minimum, bound)
+            for name, bound in upper.items()
+        }
+
+    def _ordered(self, names: Sequence[str]) -> List[str]:
+        """``names`` sorted first-to-degrade-first.
+
+        Unlisted parameters come first (degrading them was never objected
+        to), then listed ones by policy order.
+        """
+        listed = {name: index for index, name in enumerate(self._degrade_order)}
+        return sorted(names, key=lambda n: listed.get(n, -1))
+
+    # ------------------------------------------------------------------
+    # Phase 1: free reductions
+    # ------------------------------------------------------------------
+    def _reduce_free_parameters(
+        self,
+        upper: Mapping[str, float],
+        lower: Mapping[str, float],
+        fmt: MediaFormat,
+        bandwidth: float,
+    ) -> Configuration:
+        """Reduce no-preference parameters first; they buy pure bandwidth."""
+        preference = set(self._satisfaction.parameter_names())
+        free = self._ordered([n for n in upper if n not in preference])
+        config = Configuration(upper)
+        for name in free:
+            if config.fits_bandwidth(fmt, bandwidth):
+                break
+            best_fit = self._fit_single(config, name, fmt, bandwidth)
+            target = max(lower[name], best_fit)
+            snapped = self._parameters[name].clamp_down(target)
+            if snapped is None:
+                snapped = lower[name]
+            config = config.with_value(name, max(lower[name], min(snapped, upper[name])))
+        return config
+
+    # ------------------------------------------------------------------
+    # Phase 2: quality-ray bisection
+    # ------------------------------------------------------------------
+    def _ray_bisection(
+        self,
+        start: Configuration,
+        lower: Mapping[str, float],
+        fmt: MediaFormat,
+        bandwidth: float,
+    ) -> Configuration:
+        """Largest feasible point on the ray lower → start.
+
+        Only preference parameters move; free parameters already sit where
+        phase 1 left them.
+        """
+        preference = set(self._satisfaction.parameter_names())
+        moving = [n for n in start if n in preference]
+
+        def at(t: float) -> Configuration:
+            values = start.as_dict()
+            for name in moving:
+                raw = lower[name] + t * (start[name] - lower[name])
+                snapped = self._parameters[name].clamp_down(raw)
+                values[name] = lower[name] if snapped is None else snapped
+            return Configuration(values)
+
+        low_t, high_t = 0.0, 1.0
+        if at(0.0).required_bandwidth(fmt) > bandwidth * _FIT_SLACK:
+            # Even the floor does not fit with the free parameters as they
+            # are; push them to their lower bounds too and retry from there.
+            values = start.as_dict()
+            for name in start:
+                if name not in preference:
+                    values[name] = lower[name]
+            start = Configuration(values)
+            if at(0.0).required_bandwidth(fmt) > bandwidth * _FIT_SLACK:
+                return at(0.0)
+        for _ in range(_BISECTION_STEPS):
+            mid = (low_t + high_t) / 2.0
+            if at(mid).fits_bandwidth(fmt, bandwidth):
+                low_t = mid
+            else:
+                high_t = mid
+        return at(low_t)
+
+    # ------------------------------------------------------------------
+    # Phase 3: greedy polish
+    # ------------------------------------------------------------------
+    def _polish(
+        self,
+        config: Configuration,
+        upper: Mapping[str, float],
+        fmt: MediaFormat,
+        bandwidth: float,
+    ) -> Configuration:
+        """Spend leftover bandwidth, most-valued parameter first."""
+        preference = set(self._satisfaction.parameter_names())
+        last_to_degrade_first = list(
+            reversed(self._ordered([n for n in config if n in preference]))
+        )
+        for name in last_to_degrade_first:
+            if config[name] >= upper[name]:
+                continue
+            best_fit = self._fit_single(config, name, fmt, bandwidth)
+            raised = min(upper[name], best_fit)
+            snapped = self._parameters[name].clamp_down(raised)
+            if snapped is not None and snapped > config[name]:
+                config = config.with_value(name, snapped)
+        return config
+
+    # ------------------------------------------------------------------
+    # Phase 4: discrete exchange
+    # ------------------------------------------------------------------
+    def _discrete_exchange(
+        self,
+        config: Configuration,
+        upper: Mapping[str, float],
+        lower: Mapping[str, float],
+        fmt: MediaFormat,
+        bandwidth: float,
+    ) -> Configuration:
+        """Trade continuous headroom for higher discrete values.
+
+        The proportional quality ray can get stuck below a large discrete
+        step (e.g. resolution 500 → 1000 pixels): stepping the discrete
+        parameter up while *re-fitting* the continuous ones may raise the
+        combined satisfaction.  This phase tries every feasible higher
+        value of every discrete preference parameter, shrinking the other
+        preference parameters (first-to-degrade first) to restore
+        Equation 2, and keeps strict improvements.  A few sweeps suffice —
+        each sweep only ever raises discrete values.
+        """
+        preference = [
+            name
+            for name in config
+            if name in set(self._satisfaction.parameter_names())
+        ]
+        best = config
+        best_score = self.evaluate(config)
+        for _ in range(4):  # bounded hill-climbing sweeps
+            improved = False
+            for name in preference:
+                domain = self._parameters[name].domain
+                if not isinstance(domain, DiscreteDomain):
+                    continue
+                for value in domain.values:
+                    if value <= best[name] or value > upper[name]:
+                        continue
+                    candidate = self._refit_around(
+                        best.with_value(name, value),
+                        pinned=name,
+                        preference=preference,
+                        upper=upper,
+                        lower=lower,
+                        fmt=fmt,
+                        bandwidth=bandwidth,
+                    )
+                    if candidate is None:
+                        continue
+                    score = self.evaluate(candidate)
+                    if score > best_score + 1e-12:
+                        best, best_score = candidate, score
+                        improved = True
+            if not improved:
+                break
+        return best
+
+    def _refit_around(
+        self,
+        candidate: Configuration,
+        pinned: str,
+        preference: Sequence[str],
+        upper: Mapping[str, float],
+        lower: Mapping[str, float],
+        fmt: MediaFormat,
+        bandwidth: float,
+    ) -> Optional[Configuration]:
+        """Shrink non-pinned preference parameters until Equation 2 holds.
+
+        Returns ``None`` when the candidate cannot be made to fit even
+        with every other preference parameter at its lower bound.
+        """
+        if candidate.fits_bandwidth(fmt, bandwidth):
+            return self._polish_except(candidate, pinned, upper, fmt, bandwidth)
+        for other in self._ordered([p for p in preference if p != pinned]):
+            fit = self._fit_single(candidate, other, fmt, bandwidth)
+            target = min(candidate[other], max(lower[other], fit))
+            snapped = self._parameters[other].clamp_down(target)
+            if snapped is None:
+                snapped = lower[other]
+            candidate = candidate.with_value(other, max(lower[other], snapped))
+            if candidate.fits_bandwidth(fmt, bandwidth):
+                return self._polish_except(candidate, pinned, upper, fmt, bandwidth)
+        return None
+
+    def _polish_except(
+        self,
+        config: Configuration,
+        pinned: str,
+        upper: Mapping[str, float],
+        fmt: MediaFormat,
+        bandwidth: float,
+    ) -> Configuration:
+        """Polish, but leave the just-raised parameter where it is."""
+        polished = self._polish(config, upper, fmt, bandwidth)
+        if polished[pinned] != config[pinned]:
+            polished = polished.with_value(pinned, config[pinned])
+            if not polished.fits_bandwidth(fmt, bandwidth):
+                return config
+        return polished
+
+    # ------------------------------------------------------------------
+    # Exact single-parameter inversion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fit_single(
+        config: Configuration,
+        name: str,
+        fmt: MediaFormat,
+        bandwidth: float,
+    ) -> float:
+        """Largest value of one parameter fitting the bandwidth, others
+        fixed.
+
+        The bandwidth requirement is linear in each parameter individually
+        (see :meth:`MediaFormat.required_bandwidth`), so the bound follows
+        from two evaluations.  A parameter with no bandwidth effect (e.g.
+        color depth of a pure-audio stream) is unbounded.
+        """
+        current = config[name]
+        at_zero = config.with_value(name, 0.0).required_bandwidth(fmt)
+        probe_value = current if current > 0 else 1.0
+        at_probe = config.with_value(name, probe_value).required_bandwidth(fmt)
+        slope = (at_probe - at_zero) / probe_value
+        residual = bandwidth - at_zero
+        if slope <= 0.0:
+            return math.inf
+        if residual <= 0.0:
+            return 0.0
+        return residual / slope
+
+    # ------------------------------------------------------------------
+    def _choice(self, config: Configuration, fmt: MediaFormat) -> OptimizedChoice:
+        return OptimizedChoice(
+            configuration=config,
+            satisfaction=self.evaluate(config),
+            required_bandwidth_bps=config.required_bandwidth(fmt),
+        )

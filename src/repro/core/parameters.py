@@ -1,0 +1,268 @@
+"""Application-layer QoS parameters and their value domains.
+
+Section 4.1 of the paper models each application-level QoS parameter as a
+variable ``x_i`` ranging over "the set of all possible values for that QoS
+parameter".  This module gives those variables a concrete shape:
+
+- a :class:`Parameter` couples a name and unit with a value *domain*;
+- domains are either :class:`ContinuousDomain` (a closed real interval) or
+  :class:`DiscreteDomain` (a finite ordered set, e.g. supported color
+  depths);
+- a :class:`ParameterSet` is the ordered collection of parameters a
+  scenario optimizes over (frame rate, resolution, color depth, audio
+  quality, ... — the list in Section 4.1).
+
+Domains know how to *clamp* a requested value to the nearest feasible value
+not exceeding it, which is the primitive the configuration optimizer uses to
+respect both service capabilities and quality monotonicity ("transcoders can
+only reduce quality", Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import UnknownParameterError, ValidationError
+
+__all__ = [
+    "ContinuousDomain",
+    "DiscreteDomain",
+    "Domain",
+    "Parameter",
+    "ParameterSet",
+    "standard_parameters",
+    "FRAME_RATE",
+    "RESOLUTION",
+    "COLOR_DEPTH",
+    "AUDIO_QUALITY",
+]
+
+
+@dataclass(frozen=True)
+class ContinuousDomain:
+    """A closed real interval ``[low, high]`` of permitted values."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValidationError(
+                f"continuous domain low ({self.low}) exceeds high ({self.high})"
+            )
+
+    @property
+    def minimum(self) -> float:
+        return self.low
+
+    @property
+    def maximum(self) -> float:
+        return self.high
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def clamp_down(self, value: float) -> Optional[float]:
+        """Largest domain value ``<= value``, or ``None`` if none exists."""
+        if value < self.low:
+            return None
+        return min(value, self.high)
+
+    def sample(self, count: int) -> List[float]:
+        """``count`` evenly spaced values covering the interval.
+
+        Used by the grid-search fallback of the optimizer; with ``count == 1``
+        it returns the maximum (monotone satisfaction makes larger better).
+        """
+        if count < 1:
+            raise ValidationError("sample count must be >= 1")
+        if count == 1 or self.low == self.high:
+            return [self.high]
+        step = (self.high - self.low) / (count - 1)
+        return [self.low + i * step for i in range(count)]
+
+
+@dataclass(frozen=True)
+class DiscreteDomain:
+    """A finite, strictly increasing set of permitted values."""
+
+    values: Tuple[float, ...]
+
+    def __init__(self, values: Iterable[float]) -> None:
+        ordered = tuple(sorted(set(float(v) for v in values)))
+        if not ordered:
+            raise ValidationError("discrete domain must contain at least one value")
+        object.__setattr__(self, "values", ordered)
+
+    @property
+    def minimum(self) -> float:
+        return self.values[0]
+
+    @property
+    def maximum(self) -> float:
+        return self.values[-1]
+
+    def contains(self, value: float) -> bool:
+        return value in self.values
+
+    def clamp_down(self, value: float) -> Optional[float]:
+        """Largest domain value ``<= value``, or ``None`` if none exists."""
+        candidate: Optional[float] = None
+        for v in self.values:
+            if v <= value:
+                candidate = v
+            else:
+                break
+        return candidate
+
+    def sample(self, count: int) -> List[float]:
+        """Up to ``count`` values spread across the domain (always includes
+        the extremes)."""
+        if count < 1:
+            raise ValidationError("sample count must be >= 1")
+        if count >= len(self.values):
+            return list(self.values)
+        if count == 1:
+            return [self.maximum]
+        last = len(self.values) - 1
+        picked = sorted({round(i * last / (count - 1)) for i in range(count)})
+        return [self.values[i] for i in picked]
+
+
+Domain = Union[ContinuousDomain, DiscreteDomain]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One application-layer QoS parameter (a Section 4.1 ``x_i``)."""
+
+    name: str
+    unit: str
+    domain: Domain
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("parameter name must be non-empty")
+
+    @property
+    def minimum(self) -> float:
+        return self.domain.minimum
+
+    @property
+    def maximum(self) -> float:
+        return self.domain.maximum
+
+    def clamp_down(self, value: float) -> Optional[float]:
+        """Largest feasible value not exceeding ``value`` (see module doc)."""
+        return self.domain.clamp_down(value)
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.unit}]"
+
+
+class ParameterSet:
+    """The ordered collection of QoS parameters a scenario optimizes over."""
+
+    def __init__(self, parameters: Iterable[Parameter]) -> None:
+        self._parameters: List[Parameter] = []
+        seen = set()
+        for param in parameters:
+            if param.name in seen:
+                raise ValidationError(f"duplicate parameter name: {param.name!r}")
+            seen.add(param.name)
+            self._parameters.append(param)
+        if not self._parameters:
+            raise ValidationError("a ParameterSet must contain at least one parameter")
+        self._by_name = {p.name: p for p in self._parameters}
+
+    def get(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownParameterError(name) from None
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters)
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def names(self) -> List[str]:
+        return [p.name for p in self._parameters]
+
+    def subset(self, names: Sequence[str]) -> "ParameterSet":
+        """A new set containing only the named parameters, in this set's
+        order."""
+        wanted = set(names)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise UnknownParameterError(sorted(missing)[0])
+        return ParameterSet(p for p in self._parameters if p.name in wanted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParameterSet({self.names()})"
+
+
+# ----------------------------------------------------------------------
+# Standard parameters (the Section 4.1 examples)
+# ----------------------------------------------------------------------
+
+#: Canonical name of the video frame-rate parameter (frames / second).
+FRAME_RATE = "frame_rate"
+#: Canonical name of the video resolution parameter (total pixels).
+RESOLUTION = "resolution"
+#: Canonical name of the color-depth parameter (bits / pixel).
+COLOR_DEPTH = "color_depth"
+#: Canonical name of the audio-quality parameter (kbit / second).
+AUDIO_QUALITY = "audio_quality"
+
+
+def standard_parameters() -> ParameterSet:
+    """The paper's running examples: frame rate, resolution, color depth,
+    and audio quality, with realistic domains."""
+    return ParameterSet(
+        [
+            Parameter(
+                FRAME_RATE,
+                "fps",
+                ContinuousDomain(0.0, 60.0),
+                "video frames per second",
+            ),
+            Parameter(
+                RESOLUTION,
+                "pixels",
+                DiscreteDomain(
+                    [
+                        128 * 96,     # sub-QCIF
+                        176 * 144,    # QCIF
+                        320 * 240,    # QVGA
+                        352 * 288,    # CIF
+                        640 * 480,    # VGA
+                        704 * 576,    # 4CIF
+                        1280 * 720,   # HD720
+                    ]
+                ),
+                "total pixels per frame",
+            ),
+            Parameter(
+                COLOR_DEPTH,
+                "bits",
+                DiscreteDomain([1, 2, 4, 8, 16, 24]),
+                "bits per pixel",
+            ),
+            Parameter(
+                AUDIO_QUALITY,
+                "kbps",
+                DiscreteDomain([0, 8, 16, 32, 64, 128, 256, 1411]),
+                "audio bitrate (1411 = CD quality PCM)",
+            ),
+        ]
+    )

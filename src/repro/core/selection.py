@@ -1,0 +1,427 @@
+"""The QoS path-selection algorithm (Section 4.4, Figure 4).
+
+The algorithm maintains two sets: ``VT``, the already considered
+trans-coding services (initially just the sender), and ``CS``, the candidate
+services reachable over one edge from ``VT``.  Each round it
+
+1. computes, for every candidate ``Ti`` with settled parent ``Tprev``, the
+   configuration maximizing the user's satisfaction subject to the
+   bandwidth available between ``Ti`` and ``Tprev`` and the remaining
+   budget (the ``Optimize`` call — :mod:`repro.core.optimizer`);
+2. settles the candidate with the highest satisfaction (Step 4), recording
+   its parent and accumulated cost (Step 6);
+3. terminates with success when the receiver is settled (Step 7) or with
+   FAILURE when ``CS`` empties first (Step 3);
+4. otherwise inserts the settled service's neighbors into ``CS`` (Step 8).
+
+Because transcoders can only reduce quality, the satisfaction of settled
+candidates is non-increasing over rounds and the first time the receiver is
+settled it carries the maximum achievable satisfaction — the Figure 5
+optimality argument, which the property tests check against exhaustive
+search.
+
+The paper never needs a tie-break (Table 1's underlying satisfactions are
+strictly decreasing), but real scenarios do; :class:`TieBreakPolicy`
+provides deterministic options, ablated in benchmark E8/E13.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.graph import AdaptationGraph, Edge
+from repro.core.optimizer import (
+    ConfigurationOptimizer,
+    OptimizationConstraints,
+    OptimizedChoice,
+)
+from repro.core.parameters import FRAME_RATE, ParameterSet
+from repro.core.satisfaction import CombinedSatisfaction
+from repro.core.trace import SelectionRound, SelectionTrace
+from repro.errors import NoPathError
+from repro.formats.registry import FormatRegistry
+from repro.profiles.user import UserProfile
+from repro.services.catalog import service_sort_key
+from repro.services.chains import AdaptationChain, ChainHop
+
+__all__ = [
+    "TieBreakPolicy",
+    "SelectionResult",
+    "QoSPathSelector",
+    "build_chain",
+]
+
+
+class TieBreakPolicy(enum.Enum):
+    """How to order candidates whose satisfactions tie exactly.
+
+    - ``PAPER``: transcoders before the receiver, most recently updated
+      first, then descending service id — the ordering consistent with how
+      Table 1 lists its rounds.
+    - ``ASCENDING_ID`` / ``DESCENDING_ID``: by natural service-id order.
+    - ``INSERTION_ORDER``: first entered into CS wins.
+
+    Every policy yields the same *final* satisfaction (ties are equal by
+    definition); they differ in which equally good path gets reported and
+    in how many rounds run before the receiver settles.
+    """
+
+    PAPER = "paper"
+    ASCENDING_ID = "ascending-id"
+    DESCENDING_ID = "descending-id"
+    INSERTION_ORDER = "insertion-order"
+
+
+@dataclass
+class _Entry:
+    """Bookkeeping for one service, candidate or settled."""
+
+    service_id: str
+    parent_id: Optional[str]
+    via_format: Optional[str]
+    choice: Optional[OptimizedChoice]
+    accumulated_cost: float
+    accumulated_delay_ms: float
+    path: Tuple[str, ...]
+    formats_on_path: frozenset
+    insertion_index: int
+    insertion_round: int
+    update_round: int
+
+    @property
+    def satisfaction(self) -> float:
+        return self.choice.satisfaction if self.choice is not None else 1.0
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one selector run.
+
+    ``success`` mirrors Figure 4's two exits: True when the receiver was
+    settled (Step 10 printed the reverse path), False when CS emptied
+    first (Step 3's ``TERMINATE(FAILURE)``).
+    """
+
+    success: bool
+    path: Tuple[str, ...]
+    formats: Tuple[str, ...]
+    configuration: Optional[Configuration]
+    satisfaction: float
+    accumulated_cost: float
+    rounds_run: int
+    trace: Optional[SelectionTrace]
+    failure_reason: str = ""
+    accumulated_delay_ms: float = 0.0
+
+    @property
+    def delivered_frame_rate(self) -> Optional[float]:
+        if self.configuration is None:
+            return None
+        return self.configuration.get_value(FRAME_RATE)
+
+    def describe(self) -> str:
+        if not self.success:
+            return f"FAILURE after {self.rounds_run} rounds: {self.failure_reason}"
+        return (
+            f"path {','.join(self.path)} | satisfaction "
+            f"{self.satisfaction:.4f} | cost {self.accumulated_cost:.2f}"
+        )
+
+
+class QoSPathSelector:
+    """Runs the Figure 4 algorithm over an adaptation graph."""
+
+    def __init__(
+        self,
+        graph: AdaptationGraph,
+        registry: FormatRegistry,
+        parameters: ParameterSet,
+        satisfaction: CombinedSatisfaction,
+        budget: float = math.inf,
+        degrade_order: Optional[Sequence[str]] = None,
+        tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
+        record_trace: bool = True,
+        max_delay_ms: float = math.inf,
+    ) -> None:
+        self._graph = graph
+        self._registry = registry
+        self._budget = budget
+        self._max_delay_ms = max_delay_ms
+        self._tie_break = tie_break
+        self._record_trace = record_trace
+        self._optimizer = ConfigurationOptimizer(
+            parameters, satisfaction, degrade_order
+        )
+
+    @classmethod
+    def for_user(
+        cls,
+        graph: AdaptationGraph,
+        registry: FormatRegistry,
+        parameters: ParameterSet,
+        user: UserProfile,
+        peer: Optional[str] = None,
+        tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
+        record_trace: bool = True,
+    ) -> "QoSPathSelector":
+        """Build a selector straight from a user profile."""
+        satisfaction = user.satisfaction(peer)
+        return cls(
+            graph=graph,
+            registry=registry,
+            parameters=parameters,
+            satisfaction=satisfaction,
+            budget=user.budget,
+            degrade_order=user.degrade_order(parameters.names()),
+            tie_break=tie_break,
+            record_trace=record_trace,
+            max_delay_ms=user.max_delay_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # The algorithm
+    # ------------------------------------------------------------------
+    def run(self) -> SelectionResult:
+        graph = self._graph
+        trace = SelectionTrace() if self._record_trace else None
+
+        # Step 1: VT = {sender}; CS = neighbor(sender).
+        settled: Dict[str, _Entry] = {}
+        settled_order: List[str] = []
+        candidates: Dict[str, _Entry] = {}
+        insertion_counter = 0
+
+        sender_entry = _Entry(
+            service_id=graph.sender_id,
+            parent_id=None,
+            via_format=None,
+            choice=None,
+            accumulated_cost=0.0,
+            accumulated_delay_ms=0.0,
+            path=(graph.sender_id,),
+            formats_on_path=frozenset(),
+            insertion_index=-1,
+            insertion_round=0,
+            update_round=0,
+        )
+        settled[graph.sender_id] = sender_entry
+        settled_order.append(graph.sender_id)
+
+        def consider(edge: Edge, current_round: int) -> None:
+            nonlocal insertion_counter
+            if edge.target in settled:
+                return
+            parent = settled[edge.source]
+            if edge.format_name in parent.formats_on_path:
+                return  # Distinct-format rule (Section 4.2).
+            if edge.target in parent.path:
+                return  # No repeated services along a path.
+            target_vertex = graph.vertex(edge.target)
+            upstream = self._upstream_configuration(parent, edge)
+            if upstream is None:
+                return
+            cost = (
+                parent.accumulated_cost
+                + target_vertex.service.cost
+                + edge.transmission_cost
+            )
+            if cost > self._budget:
+                return  # Remaining-budget constraint (Figure 4, Step 2).
+            delay = parent.accumulated_delay_ms + edge.delay_ms
+            if delay > self._max_delay_ms:
+                return  # The user's end-to-end delay bound (Section 3).
+            choice = self._optimizer.optimize(
+                OptimizationConstraints(
+                    upstream=upstream,
+                    caps=target_vertex.service.output_caps,
+                    fmt=self._registry.get(edge.format_name),
+                    bandwidth_bps=edge.bandwidth_bps,
+                )
+            )
+            if choice is None:
+                return  # Equation 2 cannot be met on this edge at all.
+            incumbent = candidates.get(edge.target)
+            if incumbent is not None and choice.satisfaction <= incumbent.satisfaction:
+                return
+            if incumbent is None:
+                insertion_index = insertion_counter
+                insertion_round = current_round
+                insertion_counter += 1
+            else:
+                insertion_index = incumbent.insertion_index
+                insertion_round = incumbent.insertion_round
+            candidates[edge.target] = _Entry(
+                service_id=edge.target,
+                parent_id=edge.source,
+                via_format=edge.format_name,
+                choice=choice,
+                accumulated_cost=cost,
+                accumulated_delay_ms=delay,
+                path=parent.path + (edge.target,),
+                formats_on_path=parent.formats_on_path | {edge.format_name},
+                insertion_index=insertion_index,
+                insertion_round=insertion_round,
+                update_round=current_round,
+            )
+
+        for edge in graph.out_edges(graph.sender_id):
+            consider(edge, current_round=0)
+
+        rounds_run = 0
+        while candidates:
+            rounds_run += 1
+            # Step 4: settle the candidate with the highest satisfaction.
+            selected = self._pick(candidates)
+            if trace is not None:
+                trace.append(
+                    SelectionRound(
+                        number=rounds_run,
+                        considered_set=tuple(settled_order),
+                        candidate_set=self._candidate_snapshot(candidates),
+                        selected=selected.service_id,
+                        path=selected.path,
+                        frame_rate=(
+                            selected.choice.configuration.get_value(FRAME_RATE)
+                            if selected.choice is not None
+                            else None
+                        ),
+                        satisfaction=selected.satisfaction,
+                    )
+                )
+            del candidates[selected.service_id]
+            settled[selected.service_id] = selected
+            settled_order.append(selected.service_id)
+
+            # Step 7: the receiver terminates the search.
+            if selected.service_id == graph.receiver_id:
+                return self._success(selected, settled, rounds_run, trace)
+
+            # Step 8: fold the settled service's neighbors into CS.
+            for edge in graph.out_edges(selected.service_id):
+                consider(edge, current_round=rounds_run)
+
+        # Step 3: CS empty and the receiver was never reached.
+        return SelectionResult(
+            success=False,
+            path=(),
+            formats=(),
+            configuration=None,
+            satisfaction=0.0,
+            accumulated_cost=0.0,
+            rounds_run=rounds_run,
+            trace=trace,
+            failure_reason="candidate set exhausted before reaching the receiver",
+        )
+
+    def run_or_raise(self) -> SelectionResult:
+        """Like :meth:`run`, but FAILURE raises :class:`NoPathError`."""
+        result = self.run()
+        if not result.success:
+            raise NoPathError(result.failure_reason)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _upstream_configuration(
+        self, parent: _Entry, edge: Edge
+    ) -> Optional[Configuration]:
+        """The quality ceiling arriving at ``edge``'s target.
+
+        For regular parents this is the configuration the parent achieved;
+        for the sender it is the stored variant encoded in the edge's
+        format (one sender output link per variant, Section 4.2).
+        """
+        if parent.choice is not None:
+            return parent.choice.configuration
+        vertex = self._graph.vertex(parent.service_id)
+        return vertex.source_configurations.get(edge.format_name)
+
+    def _candidate_snapshot(self, candidates: Dict[str, _Entry]) -> Tuple[str, ...]:
+        """CS in insertion order, receiver pinned last (Table 1's layout)."""
+        ordered = sorted(candidates.values(), key=lambda e: e.insertion_index)
+        names = [e.service_id for e in ordered if e.service_id != self._graph.receiver_id]
+        if self._graph.receiver_id in candidates:
+            names.append(self._graph.receiver_id)
+        return tuple(names)
+
+    def _pick(self, candidates: Dict[str, _Entry]) -> _Entry:
+        """Highest satisfaction, ties resolved by the configured policy.
+
+        Entries are pre-sorted most-preferred-first for the tie-break, then
+        ``max`` (which keeps the first of equals) applies the primary
+        satisfaction criterion.
+        """
+        entries = list(candidates.values())
+        receiver_id = self._graph.receiver_id
+        policy = self._tie_break
+        if policy is TieBreakPolicy.PAPER:
+            entries.sort(key=lambda e: service_sort_key(e.service_id), reverse=True)
+            entries.sort(key=lambda e: e.update_round, reverse=True)
+            entries.sort(key=lambda e: e.service_id == receiver_id)
+        elif policy is TieBreakPolicy.ASCENDING_ID:
+            entries.sort(key=lambda e: service_sort_key(e.service_id))
+        elif policy is TieBreakPolicy.DESCENDING_ID:
+            entries.sort(key=lambda e: service_sort_key(e.service_id), reverse=True)
+        else:  # INSERTION_ORDER
+            entries.sort(key=lambda e: e.insertion_index)
+        return max(entries, key=lambda e: e.satisfaction)
+
+    @staticmethod
+    def _success(
+        receiver_entry: _Entry,
+        settled: Dict[str, _Entry],
+        rounds_run: int,
+        trace: Optional[SelectionTrace],
+    ) -> SelectionResult:
+        # Step 10: print the reverse path by following the "previous" links
+        # from the receiver.  Caution: a settled service on the winning
+        # path may itself have been settled via a *different* parent than
+        # the winning path uses — but the winning entry's path tuple was
+        # recorded when its satisfaction was computed, and every service on
+        # it was settled (only settled services feed consider()), so the
+        # via-format walk below follows the recorded winning chain.
+        via: List[str] = []
+        current = receiver_entry
+        while current.parent_id is not None:
+            via.append(current.via_format)  # type: ignore[arg-type]
+            parent = settled[current.parent_id]
+            if parent.path != current.path[:-1]:
+                # The parent settled along a different route than the one
+                # this entry's satisfaction was computed against.  The
+                # satisfactions are equal or better along the settled route
+                # (entries only improve), so the settled route is reported.
+                pass
+            current = parent
+        via.reverse()
+        return SelectionResult(
+            success=True,
+            path=receiver_entry.path,
+            formats=tuple(via),
+            configuration=(
+                receiver_entry.choice.configuration
+                if receiver_entry.choice is not None
+                else None
+            ),
+            satisfaction=receiver_entry.satisfaction,
+            accumulated_cost=receiver_entry.accumulated_cost,
+            accumulated_delay_ms=receiver_entry.accumulated_delay_ms,
+            rounds_run=rounds_run,
+            trace=trace,
+        )
+
+
+def build_chain(graph: AdaptationGraph, result: SelectionResult) -> AdaptationChain:
+    """Materialize a selector result as an executable adaptation chain."""
+    if not result.success:
+        raise NoPathError("cannot build a chain from a FAILURE result")
+    hops = [ChainHop(graph.vertex(result.path[0]).service, None)]
+    hops.extend(
+        ChainHop(graph.vertex(service_id).service, fmt)
+        for service_id, fmt in zip(result.path[1:], result.formats)
+    )
+    return AdaptationChain(hops)

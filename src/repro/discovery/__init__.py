@@ -1,0 +1,35 @@
+"""Service discovery: how intermediary profiles get populated.
+
+Section 3 notes that adaptation services "can be described using any
+service description language such as JINI, SLP, or WSDL".  This package is
+a compact, in-process stand-in for that machinery:
+
+- :class:`~repro.discovery.advertisement.Advertisement` — one service
+  offer, bound to a host node with a time-to-live;
+- :class:`~repro.discovery.registry.DiscoveryRegistry` — a directory agent:
+  advertisements register, expire on a logical clock, and answer
+  format/cost/media-type queries;
+- :mod:`repro.discovery.slp` — an SLP-flavored message layer (service
+  agents advertise, user agents issue ``SrvRqst`` and receive ``SrvRply``)
+  built on the registry, used by the discovery-driven examples.
+
+The output of discovery is exactly what graph construction consumes:
+intermediary profiles (:func:`~repro.discovery.registry.DiscoveryRegistry.
+intermediary_profiles`) and, through them, the service catalog and
+placement.
+"""
+
+from repro.discovery.advertisement import Advertisement
+from repro.discovery.registry import DiscoveryRegistry, ServiceQuery
+from repro.discovery.slp import DirectoryAgent, ServiceAgent, SrvRply, SrvRqst, UserAgent
+
+__all__ = [
+    "Advertisement",
+    "DiscoveryRegistry",
+    "ServiceQuery",
+    "ServiceAgent",
+    "DirectoryAgent",
+    "UserAgent",
+    "SrvRqst",
+    "SrvRply",
+]

@@ -1,0 +1,58 @@
+"""Service advertisements: one offer from one intermediary.
+
+An advertisement binds a service descriptor to the node hosting it, with a
+time-to-live after which the directory forgets it (stale proxies must not
+attract traffic).  Time is a logical clock owned by the registry, keeping
+every test and benchmark deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiscoveryError
+from repro.services.descriptor import ServiceDescriptor, ServiceKind
+
+__all__ = ["Advertisement"]
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """One advertised service offer."""
+
+    descriptor: ServiceDescriptor
+    node_id: str
+    ttl: float = 300.0
+    registered_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise DiscoveryError("advertisement needs a host node id")
+        if self.ttl <= 0:
+            raise DiscoveryError("advertisement ttl must be positive")
+        if self.registered_at < 0:
+            raise DiscoveryError("registration time must be >= 0")
+        if self.descriptor.kind is not ServiceKind.TRANSCODER:
+            raise DiscoveryError(
+                f"only transcoders are advertised, not "
+                f"{self.descriptor.kind.value} ({self.descriptor.service_id!r})"
+            )
+
+    @property
+    def service_id(self) -> str:
+        return self.descriptor.service_id
+
+    def expires_at(self) -> float:
+        return self.registered_at + self.ttl
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at()
+
+    def renewed(self, now: float) -> "Advertisement":
+        """A copy re-registered at ``now`` with the same ttl."""
+        return Advertisement(
+            descriptor=self.descriptor,
+            node_id=self.node_id,
+            ttl=self.ttl,
+            registered_at=now,
+        )

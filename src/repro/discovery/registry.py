@@ -1,0 +1,179 @@
+"""The discovery registry: a directory of advertised services.
+
+The registry plays the SLP directory-agent role: service agents register
+advertisements, the registry ages them out on a logical clock, and user
+agents query by input/output format, media-type-free attributes, and cost.
+Its :meth:`DiscoveryRegistry.intermediary_profiles` snapshot is the bridge
+into the paper's pipeline — it yields exactly the Section 3 intermediary
+profiles that graph construction consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.discovery.advertisement import Advertisement
+from repro.errors import DiscoveryError
+from repro.network.topology import NetworkTopology
+from repro.profiles.intermediary import IntermediaryProfile
+from repro.services.catalog import service_sort_key
+from repro.services.descriptor import ServiceDescriptor
+
+__all__ = ["ServiceQuery", "DiscoveryRegistry"]
+
+
+@dataclass(frozen=True)
+class ServiceQuery:
+    """Predicate over advertisements; ``None`` fields do not constrain."""
+
+    input_format: Optional[str] = None
+    output_format: Optional[str] = None
+    max_cost: Optional[float] = None
+    node_id: Optional[str] = None
+    provider: Optional[str] = None
+
+    def matches(self, advertisement: Advertisement) -> bool:
+        descriptor = advertisement.descriptor
+        if self.input_format is not None and not descriptor.accepts(self.input_format):
+            return False
+        if self.output_format is not None and not descriptor.produces(self.output_format):
+            return False
+        if self.max_cost is not None and descriptor.cost > self.max_cost:
+            return False
+        if self.node_id is not None and advertisement.node_id != self.node_id:
+            return False
+        if self.provider is not None and descriptor.provider != self.provider:
+            return False
+        return True
+
+
+class DiscoveryRegistry:
+    """Directory agent with a logical clock and TTL-based expiry."""
+
+    def __init__(self) -> None:
+        self._advertisements: Dict[str, Advertisement] = {}
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    # Logical time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def advance(self, seconds: float) -> float:
+        """Move the logical clock forward, expiring stale advertisements."""
+        if seconds < 0:
+            raise DiscoveryError("the logical clock cannot move backwards")
+        self._clock += seconds
+        self._expire()
+        return self._clock
+
+    def _expire(self) -> None:
+        stale = [
+            service_id
+            for service_id, ad in self._advertisements.items()
+            if ad.is_expired(self._clock)
+        ]
+        for service_id in stale:
+            del self._advertisements[service_id]
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def advertise(
+        self,
+        descriptor: ServiceDescriptor,
+        node_id: str,
+        ttl: float = 300.0,
+    ) -> Advertisement:
+        """Register (or refresh) a service offer at the current time."""
+        advertisement = Advertisement(
+            descriptor=descriptor,
+            node_id=node_id,
+            ttl=ttl,
+            registered_at=self._clock,
+        )
+        existing = self._advertisements.get(descriptor.service_id)
+        if existing is not None and existing.node_id != node_id:
+            raise DiscoveryError(
+                f"service {descriptor.service_id!r} is already advertised "
+                f"from node {existing.node_id!r}; deregister it first"
+            )
+        self._advertisements[descriptor.service_id] = advertisement
+        return advertisement
+
+    def renew(self, service_id: str) -> Advertisement:
+        """Refresh an advertisement's ttl from the current time."""
+        try:
+            advertisement = self._advertisements[service_id]
+        except KeyError:
+            raise DiscoveryError(f"no advertisement for {service_id!r}") from None
+        renewed = advertisement.renewed(self._clock)
+        self._advertisements[service_id] = renewed
+        return renewed
+
+    def deregister(self, service_id: str) -> None:
+        if service_id not in self._advertisements:
+            raise DiscoveryError(f"no advertisement for {service_id!r}")
+        del self._advertisements[service_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query: Optional[ServiceQuery] = None) -> List[Advertisement]:
+        """Live advertisements matching ``query``, in natural id order."""
+        self._expire()
+        ads = [
+            ad
+            for ad in self._advertisements.values()
+            if query is None or query.matches(ad)
+        ]
+        ads.sort(key=lambda ad: service_sort_key(ad.service_id))
+        return ads
+
+    def get(self, service_id: str) -> Optional[Advertisement]:
+        self._expire()
+        return self._advertisements.get(service_id)
+
+    def __len__(self) -> int:
+        self._expire()
+        return len(self._advertisements)
+
+    def __contains__(self, service_id: object) -> bool:
+        self._expire()
+        return service_id in self._advertisements
+
+    # ------------------------------------------------------------------
+    # Bridge into the paper's pipeline
+    # ------------------------------------------------------------------
+    def intermediary_profiles(
+        self, topology: Optional[NetworkTopology] = None
+    ) -> List[IntermediaryProfile]:
+        """Snapshot the directory as Section-3 intermediary profiles.
+
+        With a topology given, each profile reports its node's spare
+        resources; otherwise defaults apply (the algorithms only need the
+        service lists).
+        """
+        self._expire()
+        by_node: Dict[str, List[ServiceDescriptor]] = {}
+        for ad in self.query():
+            by_node.setdefault(ad.node_id, []).append(ad.descriptor)
+        profiles = []
+        for node_id in sorted(by_node):
+            if topology is not None:
+                node = topology.get_node(node_id)
+                cpu, memory = node.cpu_mips, node.memory_mb
+            else:
+                cpu, memory = 1000.0, 1024.0
+            profiles.append(
+                IntermediaryProfile(
+                    node_id=node_id,
+                    services=by_node[node_id],
+                    available_cpu_mips=cpu,
+                    available_memory_mb=memory,
+                )
+            )
+        return profiles

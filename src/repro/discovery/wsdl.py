@@ -1,0 +1,160 @@
+"""WSDL-style XML documents for trans-coding services.
+
+Section 3 lists WSDL alongside JINI and SLP as the description languages an
+intermediary may advertise its services in.  This module renders a
+:class:`~repro.services.descriptor.ServiceDescriptor` as a compact
+WSDL-flavored XML document and parses it back.  The vocabulary is a small
+subset shaped like WSDL 1.1 — a ``service`` with ``port`` elements for the
+input/output format links plus a ``qos`` extension block for the caps,
+cost, and resource requirements — enough for interoperability tests and
+for persisting catalogs to disk.
+
+The document shape::
+
+    <service name="T1" provider="acme" kind="transcoder">
+      <documentation>...</documentation>
+      <port direction="input" format="F5"/>
+      <port direction="input" format="F6"/>
+      <port direction="output" format="F10"/>
+      <qos cost="1.0" cpuFactor="1.0" memoryMb="16.0">
+        <cap parameter="frame_rate" value="30.0"/>
+      </qos>
+    </service>
+
+A catalog serializes as a ``<catalog>`` of services.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List
+
+from repro.errors import ValidationError
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor, ServiceKind
+
+__all__ = [
+    "descriptor_to_wsdl",
+    "descriptor_from_wsdl",
+    "catalog_to_wsdl",
+    "catalog_from_wsdl",
+]
+
+
+def _descriptor_element(descriptor: ServiceDescriptor) -> ET.Element:
+    service = ET.Element(
+        "service",
+        {
+            "name": descriptor.service_id,
+            "provider": descriptor.provider,
+            "kind": descriptor.kind.value,
+        },
+    )
+    if descriptor.description:
+        documentation = ET.SubElement(service, "documentation")
+        documentation.text = descriptor.description
+    for fmt in descriptor.input_formats:
+        ET.SubElement(service, "port", {"direction": "input", "format": fmt})
+    for fmt in descriptor.output_formats:
+        ET.SubElement(service, "port", {"direction": "output", "format": fmt})
+    qos = ET.SubElement(
+        service,
+        "qos",
+        {
+            "cost": repr(descriptor.cost),
+            "cpuFactor": repr(descriptor.cpu_factor),
+            "memoryMb": repr(descriptor.memory_mb),
+        },
+    )
+    for name, value in sorted(descriptor.output_caps.items()):
+        ET.SubElement(qos, "cap", {"parameter": name, "value": repr(value)})
+    return service
+
+
+def descriptor_to_wsdl(descriptor: ServiceDescriptor) -> str:
+    """Render one descriptor as a WSDL-style XML string."""
+    return ET.tostring(_descriptor_element(descriptor), encoding="unicode")
+
+
+def _descriptor_from_element(element: ET.Element) -> ServiceDescriptor:
+    if element.tag != "service":
+        raise ValidationError(f"expected <service>, got <{element.tag}>")
+    name = element.get("name", "")
+    kind_text = element.get("kind", "transcoder")
+    try:
+        kind = ServiceKind(kind_text)
+    except ValueError:
+        raise ValidationError(f"unknown service kind {kind_text!r}") from None
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for port in element.findall("port"):
+        direction = port.get("direction")
+        fmt = port.get("format")
+        if not fmt:
+            raise ValidationError(f"service {name!r}: port without a format")
+        if direction == "input":
+            inputs.append(fmt)
+        elif direction == "output":
+            outputs.append(fmt)
+        else:
+            raise ValidationError(
+                f"service {name!r}: bad port direction {direction!r}"
+            )
+    caps: Dict[str, float] = {}
+    cost = 0.0
+    cpu_factor = 1.0
+    memory_mb = 16.0
+    qos = element.find("qos")
+    if qos is not None:
+        cost = float(qos.get("cost", "0.0"))
+        cpu_factor = float(qos.get("cpuFactor", "1.0"))
+        memory_mb = float(qos.get("memoryMb", "16.0"))
+        for cap in qos.findall("cap"):
+            parameter = cap.get("parameter")
+            value = cap.get("value")
+            if parameter is None or value is None:
+                raise ValidationError(f"service {name!r}: malformed <cap>")
+            caps[parameter] = float(value)
+    documentation = element.find("documentation")
+    return ServiceDescriptor(
+        service_id=name,
+        input_formats=tuple(inputs),
+        output_formats=tuple(outputs),
+        output_caps=caps,
+        cost=cost,
+        cpu_factor=cpu_factor,
+        memory_mb=memory_mb,
+        kind=kind,
+        provider=element.get("provider", ""),
+        description=documentation.text if documentation is not None and documentation.text else "",
+    )
+
+
+def descriptor_from_wsdl(document: str) -> ServiceDescriptor:
+    """Parse one WSDL-style document back into a descriptor."""
+    try:
+        element = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ValidationError(f"malformed WSDL document: {exc}") from exc
+    return _descriptor_from_element(element)
+
+
+def catalog_to_wsdl(catalog: ServiceCatalog) -> str:
+    """Render a whole catalog as one XML document."""
+    root = ET.Element("catalog")
+    for descriptor in catalog:
+        root.append(_descriptor_element(descriptor))
+    return ET.tostring(root, encoding="unicode")
+
+
+def catalog_from_wsdl(document: str) -> ServiceCatalog:
+    """Parse a ``<catalog>`` document back into a :class:`ServiceCatalog`."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ValidationError(f"malformed WSDL document: {exc}") from exc
+    if root.tag != "catalog":
+        raise ValidationError(f"expected <catalog>, got <{root.tag}>")
+    return ServiceCatalog(
+        _descriptor_from_element(element) for element in root.findall("service")
+    )

@@ -1,0 +1,26 @@
+"""Media formats, the format registry, and content variants.
+
+The adaptation graph of the paper (Section 4.2) is wired by *formats*: an
+edge exists where the output format of one trans-coding service matches an
+input format of another.  This package provides:
+
+- :class:`~repro.formats.format.MediaFormat` — an immutable description of a
+  concrete media encoding (type, codec, container, compression model);
+- :class:`~repro.formats.registry.FormatRegistry` — a name-indexed registry,
+  plus :func:`~repro.formats.registry.standard_registry` with common formats;
+- :class:`~repro.formats.variants.ContentVariant` — one encoded variant of a
+  content item (format + QoS parameter values), the unit that flows through
+  transcoders and network links.
+"""
+
+from repro.formats.format import MediaFormat, MediaType
+from repro.formats.registry import FormatRegistry, standard_registry
+from repro.formats.variants import ContentVariant
+
+__all__ = [
+    "MediaFormat",
+    "MediaType",
+    "FormatRegistry",
+    "standard_registry",
+    "ContentVariant",
+]

@@ -1,0 +1,158 @@
+"""The media-format model.
+
+A :class:`MediaFormat` describes one concrete encoding of a media stream:
+its media type (video, audio, image, text), codec and container names, and a
+*compression ratio* that turns raw pixel data into on-the-wire bits.  The
+compression ratio is the piece the QoS algorithms depend on: together with
+the QoS parameters of a configuration (frame rate, resolution, color depth,
+audio bitrate) it determines the bandwidth a stream requires, which is the
+constraint in Equation 2 of the paper.
+
+Bandwidth model
+---------------
+
+For a video stream the required bandwidth is::
+
+    bits_per_frame = resolution_pixels * color_depth / compression_ratio
+    video_bps      = frame_rate * bits_per_frame
+
+Audio contributes ``audio_kbps * 1000`` bits per second.  Non-video formats
+simply drop the video term.  The model is deliberately simple — the paper's
+algorithms consume only the *aggregate* bandwidth requirement — but it is
+monotone in every QoS parameter, which the configuration optimizer relies
+on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import ValidationError
+
+__all__ = ["MediaType", "MediaFormat"]
+
+
+class MediaType(enum.Enum):
+    """The broad class of media a format encodes."""
+
+    VIDEO = "video"
+    AUDIO = "audio"
+    IMAGE = "image"
+    TEXT = "text"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class MediaFormat:
+    """An immutable description of one media encoding.
+
+    Parameters
+    ----------
+    name:
+        Unique registry key, e.g. ``"mpeg2-hq"`` or the paper's abstract
+        labels ``"F5"``.
+    media_type:
+        The :class:`MediaType` this format encodes.
+    codec:
+        Codec identifier (informational; equality is by ``name``).
+    container:
+        Optional container identifier (e.g. ``"mp4"``).
+    compression_ratio:
+        Raw-to-encoded compression factor, ``>= 1``.  Raw video bits are
+        divided by this factor to obtain on-the-wire bits.  Text and image
+        formats may use it the same way for their payload model.
+    attributes:
+        Free-form descriptive attributes (MPEG-7 style metadata).  Not used
+        by the algorithms; carried for round-tripping profiles.
+    """
+
+    name: str
+    media_type: MediaType = MediaType.VIDEO
+    codec: str = ""
+    container: Optional[str] = None
+    compression_ratio: float = 1.0
+    attributes: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("media format name must be non-empty")
+        if self.compression_ratio < 1.0:
+            raise ValidationError(
+                f"compression_ratio must be >= 1, got {self.compression_ratio}"
+                f" for format {self.name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Bandwidth model
+    # ------------------------------------------------------------------
+    def bits_per_frame(self, resolution_pixels: float, color_depth: float) -> float:
+        """Encoded size of one video frame, in bits.
+
+        ``resolution_pixels`` is the total pixel count (width x height) and
+        ``color_depth`` the bits per pixel before compression.
+        """
+        if resolution_pixels < 0 or color_depth < 0:
+            raise ValidationError("resolution and color depth must be >= 0")
+        return resolution_pixels * color_depth / self.compression_ratio
+
+    def required_bandwidth(
+        self,
+        frame_rate: float = 0.0,
+        resolution_pixels: float = 0.0,
+        color_depth: float = 0.0,
+        audio_kbps: float = 0.0,
+    ) -> float:
+        """Bandwidth (bits/second) needed to stream this format.
+
+        The video term applies only to :attr:`MediaType.VIDEO` formats; the
+        audio term applies to video (muxed audio) and audio formats.  Image
+        and text formats are modeled as a one-frame-per-second stream so
+        that they still exert back-pressure on slow links.
+        """
+        video_bps = 0.0
+        audio_bps = 0.0
+        if self.media_type is MediaType.VIDEO:
+            video_bps = frame_rate * self.bits_per_frame(resolution_pixels, color_depth)
+            audio_bps = audio_kbps * 1000.0
+        elif self.media_type is MediaType.AUDIO:
+            audio_bps = audio_kbps * 1000.0
+        else:
+            # One still frame (or page) per second keeps the model monotone.
+            video_bps = self.bits_per_frame(resolution_pixels, color_depth)
+        return video_bps + audio_bps
+
+    def max_frame_rate(
+        self,
+        bandwidth_bps: float,
+        resolution_pixels: float,
+        color_depth: float,
+        audio_kbps: float = 0.0,
+    ) -> float:
+        """Invert :meth:`required_bandwidth` for the frame-rate parameter.
+
+        Returns the highest frame rate this format can sustain over a link
+        of ``bandwidth_bps``, with the other parameters held fixed.  Returns
+        ``0.0`` when even the audio alone does not fit.
+        """
+        if self.media_type is not MediaType.VIDEO:
+            raise ValidationError(
+                f"max_frame_rate is only defined for video formats, "
+                f"not {self.media_type}"
+            )
+        residual = bandwidth_bps - audio_kbps * 1000.0
+        if residual <= 0:
+            return 0.0
+        per_frame = self.bits_per_frame(resolution_pixels, color_depth)
+        if per_frame <= 0:
+            raise ValidationError(
+                "cannot invert bandwidth for a zero-size frame; "
+                "set resolution and color depth first"
+            )
+        return residual / per_frame
+
+    def __str__(self) -> str:
+        return self.name

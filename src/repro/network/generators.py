@@ -1,0 +1,198 @@
+"""Topology generators: standard network shapes for experiments.
+
+The synthetic workload generator builds one random shape; the ablation and
+extension experiments also want *structured* topologies whose properties
+are known in advance:
+
+- :func:`star_topology` — every proxy hangs off one core (the classic CDN
+  picture; all inter-proxy traffic crosses the core);
+- :func:`chain_topology` — a linear chain (maximizes hop counts; the worst
+  case for startup latency);
+- :func:`tree_topology` — a complete k-ary tree (hierarchical caching);
+- :func:`dumbbell_topology` — two clusters joined by one bottleneck link
+  (the canonical congestion scenario);
+- :func:`random_geometric_topology` — nodes in the unit square connected
+  within a radius, a Waxman-style internet stand-in (seeded).
+
+All generators take bandwidth/delay defaults and return plain
+:class:`~repro.network.topology.NetworkTopology` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import List, Optional
+
+from repro.errors import ValidationError
+from repro.network.topology import NetworkTopology
+
+__all__ = [
+    "star_topology",
+    "chain_topology",
+    "tree_topology",
+    "dumbbell_topology",
+    "random_geometric_topology",
+]
+
+
+def star_topology(
+    leaves: int,
+    bandwidth_bps: float = 10e6,
+    delay_ms: float = 5.0,
+    core_id: str = "core",
+) -> NetworkTopology:
+    """One core node with ``leaves`` spokes."""
+    if leaves < 1:
+        raise ValidationError("a star needs at least one leaf")
+    topology = NetworkTopology()
+    topology.node(core_id)
+    for index in range(leaves):
+        leaf = f"leaf{index}"
+        topology.node(leaf)
+        topology.link(core_id, leaf, bandwidth_bps, delay_ms=delay_ms)
+    return topology
+
+
+def chain_topology(
+    length: int,
+    bandwidth_bps: float = 10e6,
+    delay_ms: float = 5.0,
+) -> NetworkTopology:
+    """A linear chain ``hop0 -- hop1 -- ... -- hop{length-1}``."""
+    if length < 2:
+        raise ValidationError("a chain needs at least two nodes")
+    topology = NetworkTopology()
+    for index in range(length):
+        topology.node(f"hop{index}")
+    for index in range(length - 1):
+        topology.link(
+            f"hop{index}", f"hop{index + 1}", bandwidth_bps, delay_ms=delay_ms
+        )
+    return topology
+
+
+def tree_topology(
+    depth: int,
+    fanout: int = 2,
+    bandwidth_bps: float = 10e6,
+    delay_ms: float = 5.0,
+) -> NetworkTopology:
+    """A complete ``fanout``-ary tree of the given depth (root = depth 0)."""
+    if depth < 1:
+        raise ValidationError("a tree needs depth >= 1")
+    if fanout < 1:
+        raise ValidationError("fanout must be >= 1")
+    topology = NetworkTopology()
+    topology.node("n0")
+    frontier = ["n0"]
+    counter = itertools.count(1)
+    for _ in range(depth):
+        next_frontier: List[str] = []
+        for parent in frontier:
+            for _ in range(fanout):
+                child = f"n{next(counter)}"
+                topology.node(child)
+                topology.link(parent, child, bandwidth_bps, delay_ms=delay_ms)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return topology
+
+
+def dumbbell_topology(
+    side_size: int,
+    bottleneck_bps: float = 1e6,
+    edge_bps: float = 10e6,
+    delay_ms: float = 5.0,
+) -> NetworkTopology:
+    """Two stars joined by one narrow link (``left-core -- right-core``).
+
+    Every left-to-right path crosses the bottleneck, making the widest-path
+    query's answer obvious — useful as a known-answer fixture.
+    """
+    if side_size < 1:
+        raise ValidationError("each side needs at least one node")
+    topology = NetworkTopology()
+    topology.node("left-core")
+    topology.node("right-core")
+    topology.link("left-core", "right-core", bottleneck_bps, delay_ms=delay_ms)
+    for index in range(side_size):
+        left = f"left{index}"
+        right = f"right{index}"
+        topology.node(left)
+        topology.node(right)
+        topology.link("left-core", left, edge_bps, delay_ms=delay_ms)
+        topology.link("right-core", right, edge_bps, delay_ms=delay_ms)
+    return topology
+
+
+def random_geometric_topology(
+    nodes: int,
+    radius: float = 0.45,
+    seed: int = 0,
+    min_bandwidth_bps: float = 2e6,
+    max_bandwidth_bps: float = 20e6,
+) -> NetworkTopology:
+    """Seeded random geometric graph in the unit square.
+
+    Nodes connect when within ``radius``; link delay grows with distance
+    and bandwidth is uniform-random.  Isolated components are stitched to
+    their nearest neighbor so the result is always connected.
+    """
+    if nodes < 2:
+        raise ValidationError("need at least two nodes")
+    if not 0.0 < radius <= math.sqrt(2.0):
+        raise ValidationError("radius must lie in (0, sqrt(2)]")
+    rng = random.Random(seed)
+    topology = NetworkTopology()
+    positions = {}
+    for index in range(nodes):
+        node_id = f"g{index}"
+        topology.node(node_id)
+        positions[node_id] = (rng.random(), rng.random())
+
+    def distance(a: str, b: str) -> float:
+        (ax, ay), (bx, by) = positions[a], positions[b]
+        return math.hypot(ax - bx, ay - by)
+
+    def connect(a: str, b: str) -> None:
+        topology.link(
+            a,
+            b,
+            bandwidth_bps=rng.uniform(min_bandwidth_bps, max_bandwidth_bps),
+            delay_ms=1.0 + 50.0 * distance(a, b),
+        )
+
+    ids = list(positions)
+    for a, b in itertools.combinations(ids, 2):
+        if distance(a, b) <= radius:
+            connect(a, b)
+
+    # Stitch disconnected components to the nearest outside node.
+    def component_of(start: str) -> set:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in topology.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    main = component_of(ids[0])
+    while len(main) < nodes:
+        outside = [n for n in ids if n not in main]
+        best_pair: Optional[tuple] = None
+        best_distance = math.inf
+        for a in outside:
+            for b in main:
+                d = distance(a, b)
+                if d < best_distance:
+                    best_distance = d
+                    best_pair = (a, b)
+        assert best_pair is not None
+        connect(*best_pair)
+        main = component_of(ids[0])
+    return topology

@@ -1,0 +1,164 @@
+"""Bandwidth reservations: accounting for concurrent sessions.
+
+The paper treats ``Bandwidth_AvailableBetween`` as given; in deployment the
+number comes from what earlier sessions have *not* already claimed (its
+introduction cites resource-reservation mechanisms as the alternative it
+builds on).  :class:`BandwidthLedger` provides that bookkeeping:
+
+- each admitted stream **reserves** bits/second along a concrete route;
+- the **residual** bandwidth of a link is its capacity minus reservations;
+- planning for the next session runs against a *residual topology* whose
+  link capacities are the residuals;
+- tearing a session down releases its reservations.
+
+The ledger is deliberately strict: over-reserving a link raises, releases
+must match an outstanding reservation, and every operation is O(route
+length).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.network.topology import Link, NetworkTopology
+
+__all__ = ["Reservation", "BandwidthLedger"]
+
+
+def _canonical(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One admitted stream's claim on a route."""
+
+    reservation_id: int
+    route: Tuple[str, ...]
+    bandwidth_bps: float
+    label: str = ""
+
+    def links(self) -> List[Tuple[str, str]]:
+        return [_canonical(a, b) for a, b in zip(self.route, self.route[1:])]
+
+
+class BandwidthLedger:
+    """Tracks per-link reservations over one topology."""
+
+    def __init__(self, topology: NetworkTopology) -> None:
+        self._topology = topology
+        self._reserved: Dict[Tuple[str, str], float] = {}
+        self._active: Dict[int, Reservation] = {}
+        self._ids = itertools.count(1)
+
+    @property
+    def topology(self) -> NetworkTopology:
+        return self._topology
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reserved_on(self, a: str, b: str) -> float:
+        """Bits/second currently reserved on one link."""
+        self._topology.get_link(a, b)  # validate the link exists
+        return self._reserved.get(_canonical(a, b), 0.0)
+
+    def residual(self, a: str, b: str) -> float:
+        """Capacity remaining on one link."""
+        link = self._topology.get_link(a, b)
+        return max(0.0, link.bandwidth_bps - self.reserved_on(a, b))
+
+    def active_reservations(self) -> List[Reservation]:
+        return list(self._active.values())
+
+    def total_reserved(self) -> float:
+        """Sum of reservation demands (bps x links), an accounting aid."""
+        return sum(
+            reservation.bandwidth_bps * len(reservation.links())
+            for reservation in self._active.values()
+        )
+
+    def residual_topology(self) -> NetworkTopology:
+        """A topology whose link capacities are the current residuals.
+
+        Planning the *next* session against this topology makes earlier
+        admissions invisible except through the capacity they consumed.
+        """
+        residual = NetworkTopology()
+        for node in self._topology.nodes():
+            residual.add_node(node)
+        for link in self._topology.links():
+            residual.add_link(
+                Link(
+                    a=link.a,
+                    b=link.b,
+                    bandwidth_bps=max(
+                        0.0, link.bandwidth_bps - self.reserved_on(link.a, link.b)
+                    ),
+                    delay_ms=link.delay_ms,
+                    loss_rate=link.loss_rate,
+                    cost=link.cost,
+                )
+            )
+        return residual
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def reserve(
+        self,
+        route: Sequence[str],
+        bandwidth_bps: float,
+        label: str = "",
+    ) -> Reservation:
+        """Claim ``bandwidth_bps`` on every link of ``route``.
+
+        The route must be a connected node sequence; a single-node route
+        (co-located endpoints) reserves nothing but is still tracked so
+        teardown stays uniform.  Raises :class:`ValidationError` when any
+        link lacks residual capacity — and in that case reserves nothing
+        (all-or-nothing semantics).
+        """
+        if bandwidth_bps < 0:
+            raise ValidationError("cannot reserve negative bandwidth")
+        if not route:
+            raise ValidationError("route must contain at least one node")
+        pairs = list(zip(route, route[1:]))
+        slack = 1.0 + 1e-9  # absorb float noise from exact-fit planning
+        for a, b in pairs:
+            if self.residual(a, b) * slack < bandwidth_bps:
+                raise ValidationError(
+                    f"link {a}--{b} has {self.residual(a, b):.0f} bps "
+                    f"residual, cannot reserve {bandwidth_bps:.0f}"
+                )
+        for a, b in pairs:
+            key = _canonical(a, b)
+            self._reserved[key] = self._reserved.get(key, 0.0) + bandwidth_bps
+        reservation = Reservation(
+            reservation_id=next(self._ids),
+            route=tuple(route),
+            bandwidth_bps=bandwidth_bps,
+            label=label,
+        )
+        self._active[reservation.reservation_id] = reservation
+        return reservation
+
+    def release(self, reservation: Reservation) -> None:
+        """Return a reservation's bandwidth to the links."""
+        if reservation.reservation_id not in self._active:
+            raise ValidationError(
+                f"reservation {reservation.reservation_id} is not active"
+            )
+        del self._active[reservation.reservation_id]
+        for key in reservation.links():
+            remaining = self._reserved.get(key, 0.0) - reservation.bandwidth_bps
+            if remaining <= 1e-9:
+                self._reserved.pop(key, None)
+            else:
+                self._reserved[key] = remaining
+
+    def __len__(self) -> int:
+        return len(self._active)

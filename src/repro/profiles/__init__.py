@@ -1,0 +1,45 @@
+"""The six profile types of Section 3.
+
+"The flexibility of any system to provide content personalization depends
+mainly on the amount of information available on a number of aspects
+involved in the delivery of the content to the user" — the paper enumerates
+six such aspects, each modeled here as a profile class:
+
+- :class:`~repro.profiles.user.UserProfile` — preferences as satisfaction
+  functions, adaptation policies, and the monetary budget;
+- :class:`~repro.profiles.content.ContentProfile` — the available variants
+  of the content (MPEG-7 stand-in);
+- :class:`~repro.profiles.context.ContextProfile` — dynamic physical /
+  social / organizational context (MPEG-21 usage environment stand-in);
+- :class:`~repro.profiles.device.DeviceProfile` — hardware and software
+  capabilities of the rendering device (UAProf / MPEG-21 stand-in);
+- :class:`~repro.profiles.network.NetworkProfile` — measured link
+  characteristics along the delivery path;
+- :class:`~repro.profiles.intermediary.IntermediaryProfile` — the services
+  and spare resources an intermediary advertises.
+
+All profiles serialize to/from plain dictionaries
+(:mod:`repro.profiles.serialization`), standing in for the XML documents
+(UAProf, MPEG-21 DIA) the paper cites.
+"""
+
+from repro.profiles.user import AdaptationPolicy, UserProfile
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.network import LinkMeasurement, NetworkProfile
+from repro.profiles.intermediary import IntermediaryProfile
+from repro.profiles.serialization import profile_from_dict, profile_to_dict
+
+__all__ = [
+    "UserProfile",
+    "AdaptationPolicy",
+    "ContentProfile",
+    "ContextProfile",
+    "DeviceProfile",
+    "NetworkProfile",
+    "LinkMeasurement",
+    "IntermediaryProfile",
+    "profile_to_dict",
+    "profile_from_dict",
+]

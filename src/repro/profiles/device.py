@@ -1,0 +1,112 @@
+"""The device profile: capabilities of the rendering device.
+
+Section 3: "Information about the rendering device may include the hardware
+characteristics of the device, such as the device type, processor speed,
+processor load, screen resolution, color depth, available memory, number of
+speakers, the display size, and the input and output capabilities", plus the
+software side, notably the "audio and video codecs supported by the device".
+This is the UAProf / MPEG-21 stand-in.
+
+Two pieces feed the algorithms (Section 4.2): the supported *decoders*
+become "the input links of the receiver", and the hardware limits become the
+receiver's rendering caps (a 15 fps display cannot benefit from a 30 fps
+stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.parameters import AUDIO_QUALITY, COLOR_DEPTH, FRAME_RATE, RESOLUTION
+from repro.errors import ValidationError
+from repro.services.descriptor import ServiceDescriptor, ServiceKind
+
+__all__ = ["DeviceProfile"]
+
+
+class DeviceProfile:
+    """Hardware and software capabilities of one client device."""
+
+    def __init__(
+        self,
+        device_id: str,
+        decoders: Sequence[str],
+        max_resolution: Optional[float] = None,
+        max_color_depth: Optional[float] = None,
+        max_frame_rate: Optional[float] = None,
+        max_audio_kbps: Optional[float] = None,
+        cpu_mips: float = 500.0,
+        memory_mb: float = 256.0,
+        vendor: str = "",
+        model: str = "",
+        attributes: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if not device_id:
+            raise ValidationError("device_id must be non-empty")
+        if not decoders:
+            raise ValidationError(
+                f"device {device_id!r} needs at least one decoder"
+            )
+        if len(set(decoders)) != len(list(decoders)):
+            raise ValidationError(f"device {device_id!r} lists a decoder twice")
+        if cpu_mips < 0 or memory_mb < 0:
+            raise ValidationError(f"device {device_id!r}: resources must be >= 0")
+        for label, value in (
+            ("max_resolution", max_resolution),
+            ("max_color_depth", max_color_depth),
+            ("max_frame_rate", max_frame_rate),
+            ("max_audio_kbps", max_audio_kbps),
+        ):
+            if value is not None and value < 0:
+                raise ValidationError(f"device {device_id!r}: {label} must be >= 0")
+        self.device_id = device_id
+        self.decoders: List[str] = list(decoders)
+        self.max_resolution = max_resolution
+        self.max_color_depth = max_color_depth
+        self.max_frame_rate = max_frame_rate
+        self.max_audio_kbps = max_audio_kbps
+        self.cpu_mips = cpu_mips
+        self.memory_mb = memory_mb
+        self.vendor = vendor
+        self.model = model
+        self.attributes: Dict[str, str] = dict(attributes or {})
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def can_decode(self, format_name: str) -> bool:
+        return format_name in self.decoders
+
+    def rendering_caps(self) -> Dict[str, float]:
+        """Per-parameter upper bounds the hardware imposes.
+
+        Only limits the profile actually states are included, so an
+        unspecified capability never constrains the optimizer.
+        """
+        caps: Dict[str, float] = {}
+        if self.max_frame_rate is not None:
+            caps[FRAME_RATE] = self.max_frame_rate
+        if self.max_resolution is not None:
+            caps[RESOLUTION] = self.max_resolution
+        if self.max_color_depth is not None:
+            caps[COLOR_DEPTH] = self.max_color_depth
+        if self.max_audio_kbps is not None:
+            caps[AUDIO_QUALITY] = self.max_audio_kbps
+        return caps
+
+    def receiver_descriptor(self, service_id: str = "receiver") -> ServiceDescriptor:
+        """The receiver pseudo-vertex of Section 4.2.
+
+        "The input links of the receiver are exactly the possible decoders
+        available at the receiver's device."
+        """
+        return ServiceDescriptor(
+            service_id=service_id,
+            input_formats=tuple(self.decoders),
+            output_caps=self.rendering_caps(),
+            kind=ServiceKind.RECEIVER,
+            description=f"rendering device {self.device_id!r}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeviceProfile({self.device_id!r}, decoders={self.decoders})"

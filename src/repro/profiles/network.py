@@ -1,0 +1,139 @@
+"""The network profile: measured link characteristics.
+
+Section 3: providing personalized content "requires collecting information
+about the available resources in the network, such as the maximum delay,
+error rate, and available throughput on every link over the content
+delivery path".  A :class:`NetworkProfile` is that collection — a list of
+:class:`LinkMeasurement` records — decoupled from the live topology so it
+can be serialized, aged, and compared like any other profile document.
+
+:meth:`NetworkProfile.from_topology` snapshots a simulator topology;
+:meth:`NetworkProfile.to_topology` rebuilds one (round-trip used in tests
+and by scenarios loaded from serialized form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.network.topology import Link, NetworkNode, NetworkTopology
+
+__all__ = ["LinkMeasurement", "NetworkProfile"]
+
+
+@dataclass(frozen=True)
+class LinkMeasurement:
+    """One measured link: endpoints plus QoS characteristics."""
+
+    a: str
+    b: str
+    throughput_bps: float
+    delay_ms: float = 1.0
+    loss_rate: float = 0.0
+    cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.a or not self.b:
+            raise ValidationError("link endpoints must be non-empty")
+        if self.a == self.b:
+            raise ValidationError(f"self-measurement at {self.a!r}")
+        if self.throughput_bps < 0:
+            raise ValidationError("throughput must be >= 0")
+        if self.delay_ms < 0:
+            raise ValidationError("delay must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValidationError("loss rate must lie in [0, 1)")
+
+    def key(self) -> Tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+class NetworkProfile:
+    """A snapshot of the delivery network's measured characteristics."""
+
+    def __init__(
+        self,
+        measurements: Sequence[LinkMeasurement],
+        node_resources: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> None:
+        self._measurements: Dict[Tuple[str, str], LinkMeasurement] = {}
+        for measurement in measurements:
+            key = measurement.key()
+            if key in self._measurements:
+                raise ValidationError(f"duplicate measurement for link {key}")
+            self._measurements[key] = measurement
+        #: node_id -> (cpu_mips, memory_mb); nodes appearing only in links
+        #: get default resources on reconstruction.
+        self.node_resources: Dict[str, Tuple[float, float]] = dict(node_resources or {})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def measurements(self) -> List[LinkMeasurement]:
+        return list(self._measurements.values())
+
+    def throughput(self, a: str, b: str) -> Optional[float]:
+        """Measured throughput of the direct link, or None if unmeasured."""
+        key = (a, b) if a <= b else (b, a)
+        measurement = self._measurements.get(key)
+        return measurement.throughput_bps if measurement else None
+
+    def node_ids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for measurement in self._measurements.values():
+            seen.setdefault(measurement.a)
+            seen.setdefault(measurement.b)
+        for node_id in self.node_resources:
+            seen.setdefault(node_id)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+    # ------------------------------------------------------------------
+    # Topology round-trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_topology(cls, topology: NetworkTopology) -> "NetworkProfile":
+        """Snapshot a live topology into a profile document."""
+        measurements = [
+            LinkMeasurement(
+                a=link.a,
+                b=link.b,
+                throughput_bps=link.bandwidth_bps,
+                delay_ms=link.delay_ms,
+                loss_rate=link.loss_rate,
+                cost=link.cost,
+            )
+            for link in topology.links()
+        ]
+        resources = {
+            node.node_id: (node.cpu_mips, node.memory_mb)
+            for node in topology.nodes()
+        }
+        return cls(measurements, resources)
+
+    def to_topology(self) -> NetworkTopology:
+        """Rebuild a simulator topology from this profile."""
+        topology = NetworkTopology()
+        for node_id in self.node_ids():
+            cpu, memory = self.node_resources.get(node_id, (1000.0, 1024.0))
+            topology.add_node(NetworkNode(node_id, cpu, memory))
+        for measurement in self._measurements.values():
+            topology.add_link(
+                Link(
+                    a=measurement.a,
+                    b=measurement.b,
+                    bandwidth_bps=measurement.throughput_bps,
+                    delay_ms=measurement.delay_ms,
+                    loss_rate=measurement.loss_rate,
+                    cost=measurement.cost,
+                )
+            )
+        return topology
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetworkProfile(links={len(self._measurements)})"

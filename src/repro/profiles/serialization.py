@@ -1,0 +1,393 @@
+"""Dict/JSON serialization for profiles.
+
+The paper's profiles are XML documents (UAProf RDF, MPEG-21 DIA, MPEG-7).
+We stand in with plain JSON-compatible dictionaries: every profile class
+round-trips through :func:`profile_to_dict` / :func:`profile_from_dict`,
+with a ``"profile"`` tag selecting the type.  Satisfaction functions are
+serialized by shape (linear, piecewise, step, logistic, table) so user
+profiles survive the round trip intact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.core.configuration import Configuration
+from repro.core.satisfaction import (
+    Combiner,
+    GeometricCombiner,
+    HarmonicCombiner,
+    LinearSatisfaction,
+    LogisticSatisfaction,
+    MinimumCombiner,
+    PiecewiseLinearSatisfaction,
+    SatisfactionFunction,
+    StepSatisfaction,
+    WeightedHarmonicCombiner,
+)
+from repro.errors import ValidationError
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.intermediary import IntermediaryProfile
+from repro.profiles.network import LinkMeasurement, NetworkProfile
+from repro.profiles.user import AdaptationPolicy, UserProfile
+from repro.services.descriptor import ServiceDescriptor, ServiceKind
+
+__all__ = [
+    "satisfaction_to_dict",
+    "satisfaction_from_dict",
+    "combiner_to_dict",
+    "combiner_from_dict",
+    "descriptor_to_dict",
+    "descriptor_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# Satisfaction functions
+# ----------------------------------------------------------------------
+
+def satisfaction_to_dict(fn: SatisfactionFunction) -> Dict[str, Any]:
+    """Serialize a satisfaction function by shape."""
+    if isinstance(fn, LinearSatisfaction):
+        return {"shape": "linear", "minimum": fn.minimum, "ideal": fn.ideal}
+    if isinstance(fn, PiecewiseLinearSatisfaction):
+        return {"shape": "piecewise", "knots": [list(k) for k in fn.knots]}
+    if isinstance(fn, StepSatisfaction):
+        return {"shape": "step", "steps": [list(s) for s in fn._steps]}
+    if isinstance(fn, LogisticSatisfaction):
+        return {
+            "shape": "logistic",
+            "minimum": fn.minimum,
+            "ideal": fn.ideal,
+            "steepness": fn._steepness,
+        }
+    raise ValidationError(
+        f"cannot serialize satisfaction function of type {type(fn).__name__}"
+    )
+
+
+def satisfaction_from_dict(data: Mapping[str, Any]) -> SatisfactionFunction:
+    """Inverse of :func:`satisfaction_to_dict`."""
+    shape = data.get("shape")
+    if shape == "linear":
+        return LinearSatisfaction(data["minimum"], data["ideal"])
+    if shape == "piecewise":
+        return PiecewiseLinearSatisfaction([tuple(k) for k in data["knots"]])
+    if shape == "step":
+        return StepSatisfaction([tuple(s) for s in data["steps"]])
+    if shape == "logistic":
+        return LogisticSatisfaction(
+            data["minimum"], data["ideal"], data.get("steepness", 8.0)
+        )
+    raise ValidationError(f"unknown satisfaction shape: {shape!r}")
+
+
+# ----------------------------------------------------------------------
+# Combiners
+# ----------------------------------------------------------------------
+
+def combiner_to_dict(combiner: Combiner) -> Dict[str, Any]:
+    if isinstance(combiner, WeightedHarmonicCombiner):
+        return {"kind": combiner.name, "weights": list(combiner.weights)}
+    if isinstance(combiner, (HarmonicCombiner, MinimumCombiner, GeometricCombiner)):
+        return {"kind": combiner.name}
+    raise ValidationError(f"cannot serialize combiner {type(combiner).__name__}")
+
+
+def combiner_from_dict(data: Mapping[str, Any]) -> Combiner:
+    kind = data.get("kind")
+    if kind == "harmonic":
+        return HarmonicCombiner()
+    if kind == "weighted-harmonic":
+        return WeightedHarmonicCombiner(data["weights"])
+    if kind == "minimum":
+        return MinimumCombiner()
+    if kind == "geometric":
+        return GeometricCombiner()
+    raise ValidationError(f"unknown combiner kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Service descriptors (used by intermediary profiles)
+# ----------------------------------------------------------------------
+
+def descriptor_to_dict(descriptor: ServiceDescriptor) -> Dict[str, Any]:
+    return {
+        "service_id": descriptor.service_id,
+        "input_formats": list(descriptor.input_formats),
+        "output_formats": list(descriptor.output_formats),
+        "output_caps": dict(descriptor.output_caps),
+        "cost": descriptor.cost,
+        "cpu_factor": descriptor.cpu_factor,
+        "memory_mb": descriptor.memory_mb,
+        "kind": descriptor.kind.value,
+        "provider": descriptor.provider,
+        "description": descriptor.description,
+    }
+
+
+def descriptor_from_dict(data: Mapping[str, Any]) -> ServiceDescriptor:
+    return ServiceDescriptor(
+        service_id=data["service_id"],
+        input_formats=tuple(data.get("input_formats", ())),
+        output_formats=tuple(data.get("output_formats", ())),
+        output_caps=dict(data.get("output_caps", {})),
+        cost=data.get("cost", 0.0),
+        cpu_factor=data.get("cpu_factor", 1.0),
+        memory_mb=data.get("memory_mb", 16.0),
+        kind=ServiceKind(data.get("kind", "transcoder")),
+        provider=data.get("provider", ""),
+        description=data.get("description", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+
+def _user_to_dict(profile: UserProfile) -> Dict[str, Any]:
+    return {
+        "profile": "user",
+        "user_id": profile.user_id,
+        "display_name": profile.display_name,
+        "budget": profile.budget,
+        "max_delay_ms": profile.max_delay_ms,
+        "combiner": combiner_to_dict(profile.combiner),
+        "preferences": {
+            name: satisfaction_to_dict(fn)
+            for name, fn in profile.satisfaction().functions.items()
+        },
+        "policies": [
+            {"parameter": p.parameter, "priority": p.priority}
+            for p in profile.policies
+        ],
+    }
+
+
+def _user_from_dict(data: Mapping[str, Any]) -> UserProfile:
+    return UserProfile(
+        user_id=data["user_id"],
+        display_name=data.get("display_name", ""),
+        budget=data.get("budget", float("inf")),
+        max_delay_ms=data.get("max_delay_ms", float("inf")),
+        combiner=combiner_from_dict(data["combiner"]),
+        satisfaction_functions={
+            name: satisfaction_from_dict(fn_data)
+            for name, fn_data in data["preferences"].items()
+        },
+        policies=[
+            AdaptationPolicy(p["parameter"], p["priority"])
+            for p in data.get("policies", ())
+        ],
+    )
+
+
+def _content_to_dict(profile: ContentProfile) -> Dict[str, Any]:
+    return {
+        "profile": "content",
+        "content_id": profile.content_id,
+        "title": profile.title,
+        "author": profile.author,
+        "metadata": dict(profile.metadata),
+        "variants": [
+            {
+                "format": variant.format.name,
+                "configuration": variant.configuration.as_dict(),
+                "title": variant.title,
+                "metadata": dict(variant.metadata),
+            }
+            for variant in profile.variants
+        ],
+    }
+
+
+def _content_from_dict(
+    data: Mapping[str, Any], registry: FormatRegistry
+) -> ContentProfile:
+    variants = [
+        ContentVariant(
+            format=registry.get(v["format"]),
+            configuration=Configuration(v["configuration"]),
+            title=v.get("title", ""),
+            metadata=dict(v.get("metadata", {})),
+        )
+        for v in data["variants"]
+    ]
+    return ContentProfile(
+        content_id=data["content_id"],
+        variants=variants,
+        title=data.get("title", ""),
+        author=data.get("author", ""),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def _context_to_dict(profile: ContextProfile) -> Dict[str, Any]:
+    return {
+        "profile": "context",
+        "location": profile.location,
+        "activity": profile.activity,
+        "noise_level_db": profile.noise_level_db,
+        "illumination_lux": profile.illumination_lux,
+        "local_time_hour": profile.local_time_hour,
+        "organizational_role": profile.organizational_role,
+        "attributes": dict(profile.attributes),
+    }
+
+
+def _context_from_dict(data: Mapping[str, Any]) -> ContextProfile:
+    return ContextProfile(
+        location=data.get("location", ""),
+        activity=data.get("activity", "idle"),
+        noise_level_db=data.get("noise_level_db", 40.0),
+        illumination_lux=data.get("illumination_lux", 300.0),
+        local_time_hour=data.get("local_time_hour"),
+        organizational_role=data.get("organizational_role", ""),
+        attributes=dict(data.get("attributes", {})),
+    )
+
+
+def _device_to_dict(profile: DeviceProfile) -> Dict[str, Any]:
+    return {
+        "profile": "device",
+        "device_id": profile.device_id,
+        "decoders": list(profile.decoders),
+        "max_resolution": profile.max_resolution,
+        "max_color_depth": profile.max_color_depth,
+        "max_frame_rate": profile.max_frame_rate,
+        "max_audio_kbps": profile.max_audio_kbps,
+        "cpu_mips": profile.cpu_mips,
+        "memory_mb": profile.memory_mb,
+        "vendor": profile.vendor,
+        "model": profile.model,
+        "attributes": dict(profile.attributes),
+    }
+
+
+def _device_from_dict(data: Mapping[str, Any]) -> DeviceProfile:
+    return DeviceProfile(
+        device_id=data["device_id"],
+        decoders=list(data["decoders"]),
+        max_resolution=data.get("max_resolution"),
+        max_color_depth=data.get("max_color_depth"),
+        max_frame_rate=data.get("max_frame_rate"),
+        max_audio_kbps=data.get("max_audio_kbps"),
+        cpu_mips=data.get("cpu_mips", 500.0),
+        memory_mb=data.get("memory_mb", 256.0),
+        vendor=data.get("vendor", ""),
+        model=data.get("model", ""),
+        attributes=dict(data.get("attributes", {})),
+    )
+
+
+def _network_to_dict(profile: NetworkProfile) -> Dict[str, Any]:
+    return {
+        "profile": "network",
+        "measurements": [
+            {
+                "a": m.a,
+                "b": m.b,
+                "throughput_bps": m.throughput_bps,
+                "delay_ms": m.delay_ms,
+                "loss_rate": m.loss_rate,
+                "cost": m.cost,
+            }
+            for m in profile.measurements
+        ],
+        "node_resources": {
+            node: list(resources)
+            for node, resources in profile.node_resources.items()
+        },
+    }
+
+
+def _network_from_dict(data: Mapping[str, Any]) -> NetworkProfile:
+    measurements = [
+        LinkMeasurement(
+            a=m["a"],
+            b=m["b"],
+            throughput_bps=m["throughput_bps"],
+            delay_ms=m.get("delay_ms", 1.0),
+            loss_rate=m.get("loss_rate", 0.0),
+            cost=m.get("cost", 0.0),
+        )
+        for m in data["measurements"]
+    ]
+    resources = {
+        node: tuple(values)
+        for node, values in data.get("node_resources", {}).items()
+    }
+    return NetworkProfile(measurements, resources)
+
+
+def _intermediary_to_dict(profile: IntermediaryProfile) -> Dict[str, Any]:
+    return {
+        "profile": "intermediary",
+        "node_id": profile.node_id,
+        "services": [descriptor_to_dict(d) for d in profile.services],
+        "available_cpu_mips": profile.available_cpu_mips,
+        "available_memory_mb": profile.available_memory_mb,
+        "operator": profile.operator,
+    }
+
+
+def _intermediary_from_dict(data: Mapping[str, Any]) -> IntermediaryProfile:
+    return IntermediaryProfile(
+        node_id=data["node_id"],
+        services=[descriptor_from_dict(d) for d in data["services"]],
+        available_cpu_mips=data.get("available_cpu_mips", 1000.0),
+        available_memory_mb=data.get("available_memory_mb", 1024.0),
+        operator=data.get("operator", ""),
+    )
+
+
+def profile_to_dict(profile: Any) -> Dict[str, Any]:
+    """Serialize any of the six profile types to a tagged dictionary."""
+    if isinstance(profile, UserProfile):
+        return _user_to_dict(profile)
+    if isinstance(profile, ContentProfile):
+        return _content_to_dict(profile)
+    if isinstance(profile, ContextProfile):
+        return _context_to_dict(profile)
+    if isinstance(profile, DeviceProfile):
+        return _device_to_dict(profile)
+    if isinstance(profile, NetworkProfile):
+        return _network_to_dict(profile)
+    if isinstance(profile, IntermediaryProfile):
+        return _intermediary_to_dict(profile)
+    raise ValidationError(f"not a profile object: {type(profile).__name__}")
+
+
+def profile_from_dict(
+    data: Mapping[str, Any],
+    registry: FormatRegistry = None,
+) -> Any:
+    """Deserialize a tagged dictionary back into a profile object.
+
+    Content profiles reference media formats by name, so deserializing one
+    requires the scenario's :class:`FormatRegistry`.
+    """
+    tag = data.get("profile")
+    if tag == "user":
+        return _user_from_dict(data)
+    if tag == "content":
+        if registry is None:
+            raise ValidationError(
+                "deserializing a content profile requires a FormatRegistry"
+            )
+        return _content_from_dict(data, registry)
+    if tag == "context":
+        return _context_from_dict(data)
+    if tag == "device":
+        return _device_from_dict(data)
+    if tag == "network":
+        return _network_from_dict(data)
+    if tag == "intermediary":
+        return _intermediary_from_dict(data)
+    raise ValidationError(f"unknown profile tag: {tag!r}")

@@ -1,0 +1,144 @@
+"""The user profile: preferences, policies, and budget.
+
+Section 3: "The user's profile captures the personal properties and
+preferences of the user, such as the preferred audio and video
+receiving/sending qualities (frame rate, resolution, audio quality...)",
+plus "the user's policies for application adaptations, such as the
+preference of the user to drop the audio quality of a sport-clip before
+degrading the video quality when resources are limited".
+
+Concretely a :class:`UserProfile` couples:
+
+- a :class:`~repro.core.satisfaction.CombinedSatisfaction` — one
+  satisfaction function per parameter the user cares about, plus the
+  combination function (Equation 1 by default);
+- an ordered list of :class:`AdaptationPolicy` entries — which parameters
+  to sacrifice first when resources run out (consumed by the configuration
+  optimizer's reduction order);
+- the monetary ``budget`` the user is willing to pay (Figure 4's
+  ``user_budget``);
+- optional per-peer overrides (the paper's "CD audio when talking to a
+  client, telephony quality with a colleague" example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.satisfaction import CombinedSatisfaction, Combiner, HarmonicCombiner, SatisfactionFunction
+from repro.errors import ValidationError
+
+__all__ = ["AdaptationPolicy", "UserProfile"]
+
+
+@dataclass(frozen=True)
+class AdaptationPolicy:
+    """One entry of the user's degrade-first ordering.
+
+    ``parameter`` names a QoS parameter; ``priority`` orders sacrifices —
+    lower priority is degraded *first* when bandwidth runs out.  The
+    paper's example ("drop the audio quality ... before degrading the video
+    quality") becomes ``AdaptationPolicy("audio_quality", priority=0)`` plus
+    ``AdaptationPolicy("frame_rate", priority=1)``.
+    """
+
+    parameter: str
+    priority: int
+
+    def __post_init__(self) -> None:
+        if not self.parameter:
+            raise ValidationError("policy parameter name must be non-empty")
+
+
+class UserProfile:
+    """Preferences and constraints of one user."""
+
+    def __init__(
+        self,
+        user_id: str,
+        satisfaction_functions: Mapping[str, SatisfactionFunction],
+        combiner: Optional[Combiner] = None,
+        budget: float = float("inf"),
+        policies: Sequence[AdaptationPolicy] = (),
+        peer_overrides: Optional[Mapping[str, Mapping[str, SatisfactionFunction]]] = None,
+        display_name: str = "",
+        max_delay_ms: float = float("inf"),
+    ) -> None:
+        if not user_id:
+            raise ValidationError("user_id must be non-empty")
+        if budget < 0:
+            raise ValidationError("budget must be >= 0")
+        if max_delay_ms <= 0:
+            raise ValidationError("max_delay_ms must be positive")
+        if not satisfaction_functions:
+            raise ValidationError("a user profile needs at least one preference")
+        self.user_id = user_id
+        self.display_name = display_name or user_id
+        self.budget = float(budget)
+        #: End-to-end propagation-delay bound for interactive sessions
+        #: (infinity = delay-insensitive, the default).
+        self.max_delay_ms = float(max_delay_ms)
+        self._combiner = combiner if combiner is not None else HarmonicCombiner()
+        self._functions: Dict[str, SatisfactionFunction] = dict(satisfaction_functions)
+        self._policies = tuple(sorted(policies, key=lambda p: p.priority))
+        seen = set()
+        for policy in self._policies:
+            if policy.parameter in seen:
+                raise ValidationError(
+                    f"duplicate adaptation policy for {policy.parameter!r}"
+                )
+            seen.add(policy.parameter)
+        self._peer_overrides: Dict[str, Dict[str, SatisfactionFunction]] = {
+            peer: dict(functions)
+            for peer, functions in (peer_overrides or {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    # Satisfaction
+    # ------------------------------------------------------------------
+    @property
+    def combiner(self) -> Combiner:
+        return self._combiner
+
+    def satisfaction(self, peer: Optional[str] = None) -> CombinedSatisfaction:
+        """The satisfaction model, optionally specialized for a peer.
+
+        Peer overrides replace or add per-parameter functions on top of the
+        base preferences (the paper's per-person quality preferences).
+        """
+        functions = dict(self._functions)
+        if peer is not None and peer in self._peer_overrides:
+            functions.update(self._peer_overrides[peer])
+        return CombinedSatisfaction(functions=functions, combiner=self._combiner)
+
+    def preference_parameters(self) -> List[str]:
+        """Names of the parameters the user has preferences for."""
+        return list(self._functions)
+
+    # ------------------------------------------------------------------
+    # Policies
+    # ------------------------------------------------------------------
+    @property
+    def policies(self) -> Sequence[AdaptationPolicy]:
+        return self._policies
+
+    def degrade_order(self, parameters: Sequence[str]) -> List[str]:
+        """Order ``parameters`` by sacrifice preference, first-to-degrade
+        first.
+
+        Parameters with explicit policies come first (by priority); the
+        rest keep their given order after them.  The configuration
+        optimizer walks this list when bandwidth forces reductions.
+        """
+        prioritized = {p.parameter: p.priority for p in self._policies}
+        with_policy = [p for p in parameters if p in prioritized]
+        without_policy = [p for p in parameters if p not in prioritized]
+        with_policy.sort(key=lambda name: prioritized[name])
+        return with_policy + without_policy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UserProfile({self.user_id!r}, "
+            f"parameters={list(self._functions)}, budget={self.budget})"
+        )

@@ -1,0 +1,65 @@
+"""Ordered event log for adaptation sessions.
+
+A tiny structured log: events carry a logical timestamp, a category, and a
+message.  Sessions and pipelines append as they work; tests assert on the
+sequence, and the examples print it as a narrative of what the framework
+did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ValidationError
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence."""
+
+    time_s: float
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time_s:9.3f}s] {self.category:<12} {self.message}"
+
+
+class EventLog:
+    """Append-only, time-monotone event record."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(self, time_s: float, category: str, message: str) -> Event:
+        if not category:
+            raise ValidationError("event category must be non-empty")
+        if self._events and time_s < self._events[-1].time_s:
+            raise ValidationError(
+                f"event time {time_s} precedes last event "
+                f"({self._events[-1].time_s})"
+            )
+        event = Event(time_s=time_s, category=category, message=message)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def in_category(self, category: str) -> List[Event]:
+        return [e for e in self._events if e.category == category]
+
+    def last(self) -> Optional[Event]:
+        return self._events[-1] if self._events else None
+
+    def render(self) -> str:
+        return "\n".join(str(event) for event in self._events)

@@ -1,0 +1,70 @@
+"""Delivery metrics: what the receiver actually experienced.
+
+A :class:`DeliveryReport` aggregates one simulated streaming session: the
+configuration delivered, the user's satisfaction with it, startup latency,
+sustained throughput, frame statistics under loss and bandwidth
+fluctuation, and the money spent.  Produced by
+:class:`~repro.runtime.pipeline.DeliveryPipeline`; consumed by examples,
+integration tests, and the E12 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.configuration import Configuration
+
+__all__ = ["DeliveryReport"]
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Aggregate outcome of one streamed session."""
+
+    #: Service ids along the executed chain, sender first.
+    path: Tuple[str, ...]
+    #: The configuration the receiver rendered.
+    configuration: Configuration
+    #: The user's satisfaction with that configuration (Equation 1).
+    satisfaction: float
+    #: Time until the first frame reached the receiver (seconds).
+    startup_latency_s: float
+    #: Total simulated stream duration (seconds).
+    duration_s: float
+    #: Frames handed to the chain by the sender.
+    frames_sent: int
+    #: Frames that survived loss and bandwidth dips to reach the receiver.
+    frames_delivered: int
+    #: Average delivered frame rate over the session (fps).
+    average_frame_rate: float
+    #: Standard deviation of per-second delivered frame counts (jitter
+    #: proxy).
+    frame_rate_jitter: float
+    #: Money spent: service costs plus transmission costs.
+    total_cost: float
+    #: Aggregate CPU work performed by the transcoders (MIPS·seconds).
+    cpu_mips_seconds: float
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of sent frames that never arrived."""
+        if self.frames_sent == 0:
+            return 0.0
+        return 1.0 - self.frames_delivered / self.frames_sent
+
+    def summary(self) -> str:
+        """A compact human-readable report."""
+        lines = [
+            f"path:              {','.join(self.path)}",
+            f"satisfaction:      {self.satisfaction:.4f}",
+            f"delivered config:  {self.configuration!r}",
+            f"startup latency:   {self.startup_latency_s * 1000:.1f} ms",
+            f"avg frame rate:    {self.average_frame_rate:.2f} fps "
+            f"(jitter {self.frame_rate_jitter:.2f})",
+            f"frames:            {self.frames_delivered}/{self.frames_sent} "
+            f"delivered ({self.loss_fraction * 100:.1f}% lost)",
+            f"total cost:        {self.total_cost:.2f}",
+            f"cpu work:          {self.cpu_mips_seconds:.1f} MIPS*s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Adaptation sessions: the whole framework in one call.
+
+An :class:`AdaptationSession` wires the paper's full pipeline together:
+
+1. take the six profiles (user, content, context, device, network — via
+   the topology — and the intermediaries — via catalog + placement);
+2. construct the adaptation graph (Section 4.2);
+3. prune it (Section 4's optimization pass);
+4. run the QoS path-selection algorithm (Section 4.4);
+5. optionally stream the selected chain and report delivery metrics.
+
+This is the class downstream users touch first; the examples are built on
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.graph import AdaptationGraph, AdaptationGraphBuilder
+from repro.core.parameters import ParameterSet
+from repro.core.pruning import GraphPruner, PruningReport
+from repro.core.selection import (
+    QoSPathSelector,
+    SelectionResult,
+    TieBreakPolicy,
+    build_chain,
+)
+from repro.errors import NoPathError
+from repro.formats.registry import FormatRegistry
+from repro.network.bandwidth import BandwidthEstimator, FluctuationModel
+from repro.network.placement import ServicePlacement
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import UserProfile
+from repro.runtime.events import EventLog
+from repro.runtime.metrics import DeliveryReport
+from repro.runtime.pipeline import DeliveryPipeline
+from repro.services.catalog import ServiceCatalog
+from repro.services.chains import AdaptationChain
+
+__all__ = ["SessionPlan", "AdaptationSession"]
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """Everything the planning phase produced."""
+
+    graph: AdaptationGraph
+    pruning: PruningReport
+    result: SelectionResult
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+    def chain(self) -> AdaptationChain:
+        """The selected chain as an executable object (success only)."""
+        return build_chain(self.graph, self.result)
+
+
+class AdaptationSession:
+    """One content-delivery session for one user on one device."""
+
+    def __init__(
+        self,
+        registry: FormatRegistry,
+        parameters: ParameterSet,
+        catalog: ServiceCatalog,
+        placement: ServicePlacement,
+        content: ContentProfile,
+        device: DeviceProfile,
+        user: UserProfile,
+        sender_node: str,
+        receiver_node: str,
+        context: Optional[ContextProfile] = None,
+        tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
+        prune: bool = True,
+        record_trace: bool = True,
+    ) -> None:
+        self._registry = registry
+        self._parameters = parameters
+        self._catalog = catalog
+        self._placement = placement
+        self._content = content
+        self._device = device
+        self._user = user
+        self._context = context
+        self._sender_node = sender_node
+        self._receiver_node = receiver_node
+        self._tie_break = tie_break
+        self._prune = prune
+        self._record_trace = record_trace
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, peer: Optional[str] = None) -> SessionPlan:
+        """Run graph construction, pruning, and path selection."""
+        builder = AdaptationGraphBuilder(self._catalog, self._placement)
+        graph = builder.build(
+            content=self._content,
+            device=self._device,
+            sender_node=self._sender_node,
+            receiver_node=self._receiver_node,
+            context_caps=(
+                self._context.parameter_caps() if self._context is not None else None
+            ),
+        )
+        if self._prune:
+            graph, report = GraphPruner().prune(graph)
+        else:
+            report = PruningReport(
+                vertices_before=len(graph),
+                vertices_after=len(graph),
+                edges_before=graph.edge_count(),
+                edges_after=graph.edge_count(),
+            )
+        selector = QoSPathSelector.for_user(
+            graph=graph,
+            registry=self._registry,
+            parameters=self._parameters,
+            user=self._user,
+            peer=peer,
+            tie_break=self._tie_break,
+            record_trace=self._record_trace,
+        )
+        result = selector.run()
+        return SessionPlan(graph=graph, pruning=report, result=result)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        plan: SessionPlan,
+        duration_s: float = 30.0,
+        fluctuation: Optional[FluctuationModel] = None,
+        seed: int = 0,
+        events: Optional[EventLog] = None,
+    ) -> DeliveryReport:
+        """Stream the planned chain and report what the receiver saw."""
+        if not plan.success:
+            raise NoPathError(plan.result.failure_reason)
+        chain = plan.chain()
+        # Endpoints participate in routing, so they need host assignments.
+        placement = self._placement
+        if not placement.is_placed(plan.graph.sender_id):
+            placement.place(plan.graph.sender_id, self._sender_node)
+        if not placement.is_placed(plan.graph.receiver_id):
+            placement.place(plan.graph.receiver_id, self._receiver_node)
+        estimator = BandwidthEstimator(placement.topology, fluctuation)
+        pipeline = DeliveryPipeline(
+            placement=placement,
+            registry=self._registry,
+            estimator=estimator,
+            seed=seed,
+        )
+        satisfaction = self._user.satisfaction()
+        configuration = plan.result.configuration
+        if configuration is None:
+            raise NoPathError("plan carries no delivered configuration")
+
+        def satisfaction_of(config) -> float:
+            values = []
+            for name in satisfaction.parameter_names():
+                if name in config:
+                    values.append(satisfaction.individual(name, config[name]))
+            return satisfaction.combiner(values) if values else 0.0
+
+        return pipeline.stream(
+            chain=chain,
+            configuration=configuration,
+            satisfaction_of=satisfaction_of,
+            duration_s=duration_s,
+            events=events,
+        )
+
+    def plan_and_deliver(
+        self,
+        duration_s: float = 30.0,
+        fluctuation: Optional[FluctuationModel] = None,
+        seed: int = 0,
+    ) -> DeliveryReport:
+        """Convenience: plan, then deliver, in one call."""
+        return self.deliver(self.plan(), duration_s, fluctuation, seed)

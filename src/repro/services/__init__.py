@@ -1,0 +1,32 @@
+"""Trans-coding services: descriptors, synthetic transcoders, catalogs.
+
+The vertices of the paper's adaptation graph are trans-coding services
+(Section 4.2, Figure 2): each has input links (accepted formats), output
+links (producible formats), resource requirements, and a usage cost.  This
+package provides:
+
+- :class:`~repro.services.descriptor.ServiceDescriptor` — the declarative
+  description an intermediary advertises (JINI/SLP/WSDL stand-in);
+- :class:`~repro.services.transcoder.SyntheticTranscoder` — an *executable*
+  transcoder that actually converts content variants, degrading quality
+  monotonically;
+- :class:`~repro.services.catalog.ServiceCatalog` — the id-indexed service
+  collection graph construction draws from;
+- :class:`~repro.services.chains.AdaptationChain` — a validated sequence of
+  services (the output of path selection), executable end to end.
+"""
+
+from repro.services.descriptor import ServiceDescriptor, ServiceKind
+from repro.services.transcoder import SyntheticTranscoder
+from repro.services.catalog import ServiceCatalog, service_sort_key
+from repro.services.chains import AdaptationChain, ChainHop
+
+__all__ = [
+    "ServiceDescriptor",
+    "ServiceKind",
+    "SyntheticTranscoder",
+    "ServiceCatalog",
+    "service_sort_key",
+    "AdaptationChain",
+    "ChainHop",
+]

@@ -1,0 +1,103 @@
+"""Executable synthetic transcoders.
+
+The paper's evaluation never runs real codecs — and neither does the
+selection algorithm, which consumes only descriptor-level information.  To
+still exercise a full end-to-end pipeline (examples, runtime benches) we
+provide :class:`SyntheticTranscoder`: it consumes a
+:class:`~repro.formats.variants.ContentVariant`, checks the format against
+the descriptor's input links, and emits a new variant in the requested
+output format with the configuration capped by the service's output
+capabilities.  Quality therefore only ever decreases, matching the
+assumption the greedy selector's optimality rests on (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChainValidationError, UnknownFormatError, ValidationError
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.services.descriptor import ServiceDescriptor, ServiceKind
+
+__all__ = ["SyntheticTranscoder", "TranscodeResult"]
+
+
+@dataclass(frozen=True)
+class TranscodeResult:
+    """Outcome of one transcoding operation.
+
+    ``output`` is the produced variant; ``cpu_mips`` and ``memory_mb`` are
+    the resources the operation consumed, derived from the descriptor and
+    the input data rate (used by the runtime pipeline for latency and by
+    placement checks).
+    """
+
+    output: ContentVariant
+    cpu_mips: float
+    memory_mb: float
+
+
+class SyntheticTranscoder:
+    """An executable stand-in for a real trans-coding service."""
+
+    def __init__(self, descriptor: ServiceDescriptor, registry: FormatRegistry) -> None:
+        if descriptor.kind is not ServiceKind.TRANSCODER:
+            raise ValidationError(
+                f"{descriptor.service_id}: only TRANSCODER descriptors are executable"
+            )
+        for name in (*descriptor.input_formats, *descriptor.output_formats):
+            if name not in registry:
+                raise UnknownFormatError(name)
+        self._descriptor = descriptor
+        self._registry = registry
+
+    @property
+    def descriptor(self) -> ServiceDescriptor:
+        return self._descriptor
+
+    def transcode(
+        self,
+        variant: ContentVariant,
+        output_format: Optional[str] = None,
+    ) -> TranscodeResult:
+        """Convert ``variant`` into ``output_format``.
+
+        When ``output_format`` is omitted and the service has exactly one
+        output link, that one is used; with several output links the caller
+        must choose (the selection algorithm always does).
+
+        Raises :class:`ChainValidationError` when the variant's format is
+        not an input link of this service or the requested output is not an
+        output link.
+        """
+        descriptor = self._descriptor
+        if not descriptor.accepts(variant.format.name):
+            raise ChainValidationError(
+                f"{descriptor.service_id} does not accept format "
+                f"{variant.format.name!r} (inputs: {list(descriptor.input_formats)})"
+            )
+        if output_format is None:
+            if len(descriptor.output_formats) != 1:
+                raise ChainValidationError(
+                    f"{descriptor.service_id} has {len(descriptor.output_formats)} "
+                    f"output formats; specify which one to produce"
+                )
+            output_format = descriptor.output_formats[0]
+        if not descriptor.produces(output_format):
+            raise ChainValidationError(
+                f"{descriptor.service_id} cannot produce format "
+                f"{output_format!r} (outputs: {list(descriptor.output_formats)})"
+            )
+        target = self._registry.get(output_format)
+        output = variant.degraded(target, descriptor.output_caps)
+        input_bps = variant.required_bandwidth()
+        return TranscodeResult(
+            output=output,
+            cpu_mips=descriptor.cpu_required(input_bps),
+            memory_mb=descriptor.memory_mb,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyntheticTranscoder({self._descriptor.service_id})"

@@ -1,0 +1,36 @@
+"""Workloads: the paper's exact scenarios plus synthetic generators.
+
+- :mod:`repro.workloads.paper` — faithful reconstructions of every figure
+  and table in the paper: the Figure 1 satisfaction function, the Figure
+  2/3 construction example, and the Figure 6 graph whose selection trace
+  reproduces Table 1 cell by cell;
+- :mod:`repro.workloads.synthetic` — seeded random scenario generation for
+  the scalability, ablation, and property-based experiments.
+
+Both produce :class:`~repro.workloads.scenario.Scenario` bundles that plug
+straight into :class:`~repro.runtime.session.AdaptationSession`.
+"""
+
+from repro.workloads.scenario import Scenario
+from repro.workloads.paper import (
+    figure1_satisfaction,
+    figure2_service,
+    figure3_scenario,
+    figure6_scenario,
+    table1_expected_rows,
+)
+from repro.workloads.intro import html_to_wml_scenario, jpeg_to_gif_scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+__all__ = [
+    "Scenario",
+    "figure1_satisfaction",
+    "figure2_service",
+    "figure3_scenario",
+    "figure6_scenario",
+    "table1_expected_rows",
+    "jpeg_to_gif_scenario",
+    "html_to_wml_scenario",
+    "SyntheticConfig",
+    "generate_scenario",
+]

@@ -1,0 +1,275 @@
+"""The paper's introduction examples, as runnable scenarios.
+
+Section 1 motivates composition with concrete web-adaptation cases:
+
+- "trans-coding a 256-color depth jpeg image to a 2-color depth gif image
+  can be carried out in two stages: the first stage covers converting
+  256-color to 2-color depth, and the second step converts jpeg format to
+  gif format" — :func:`jpeg_to_gif_scenario`;
+- "conversion of HTML pages to WML pages ... conversion of HTML tables to
+  plain text" — :func:`html_to_wml_scenario`.
+
+Both scenarios exercise the image/text media types (one frame per second
+bandwidth model) and demonstrate the composition claim: the two-stage
+chain of simple services beats — or replaces — a monolithic converter.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import PiecewiseLinearSatisfaction, StepSatisfaction
+from repro.formats.format import MediaType
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.network.placement import ServicePlacement
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import UserProfile
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor
+from repro.workloads.scenario import Scenario
+
+__all__ = ["jpeg_to_gif_scenario", "html_to_wml_scenario"]
+
+#: A 1024x768 photograph.
+_PHOTO_PIXELS = 1024.0 * 768.0
+
+
+def jpeg_to_gif_scenario(include_monolith: bool = False) -> Scenario:
+    """The 256-color JPEG → 2-color GIF example from the introduction.
+
+    The stored content is a 256-color (8-bit) JPEG photograph; the client
+    is a two-color e-ink badge that renders only 2-color GIF.  Two simple
+    services compose the conversion:
+
+    - ``color-reduce`` on the edge proxy: 8-bit JPEG → 1-bit JPEG;
+    - ``jpeg-to-gif`` on the gateway: 1-bit JPEG → 1-bit GIF.
+
+    With ``include_monolith`` a single-stage ``jpeg256-to-gif2`` converter
+    is also offered at triple cost — letting callers compare the paper's
+    composition story against the monolithic alternative.
+    """
+    registry = FormatRegistry()
+    registry.define("jpeg-256c", MediaType.IMAGE, codec="jpeg", compression_ratio=10.0)
+    registry.define("jpeg-2c", MediaType.IMAGE, codec="jpeg-mono", compression_ratio=12.0)
+    registry.define("gif-2c", MediaType.IMAGE, codec="gif-mono", compression_ratio=8.0)
+
+    topology = NetworkTopology()
+    topology.node("webserver")
+    topology.node("proxy")
+    topology.node("gateway")
+    topology.node("badge", cpu_mips=10.0, memory_mb=4.0)
+    topology.link("webserver", "proxy", 8e6, delay_ms=5.0)
+    topology.link("proxy", "gateway", 2e6, delay_ms=10.0)
+    topology.link("gateway", "badge", 64e3, delay_ms=60.0)  # pager-class link
+
+    services = [
+        ServiceDescriptor(
+            service_id="color-reduce",
+            input_formats=("jpeg-256c",),
+            output_formats=("jpeg-2c",),
+            output_caps={COLOR_DEPTH: 1.0},
+            cost=0.5,
+            description="256-color to 2-color depth reduction",
+        ),
+        ServiceDescriptor(
+            service_id="jpeg-to-gif",
+            input_formats=("jpeg-2c",),
+            output_formats=("gif-2c",),
+            cost=0.5,
+            description="JPEG to GIF container conversion",
+        ),
+    ]
+    placements = {"color-reduce": "proxy", "jpeg-to-gif": "gateway"}
+    if include_monolith:
+        services.append(
+            ServiceDescriptor(
+                service_id="jpeg256-to-gif2",
+                input_formats=("jpeg-256c",),
+                output_formats=("gif-2c",),
+                output_caps={COLOR_DEPTH: 1.0},
+                cost=3.0,
+                description="monolithic single-stage converter",
+            )
+        )
+        placements["jpeg256-to-gif2"] = "proxy"
+
+    catalog = ServiceCatalog(services)
+    placement = ServicePlacement(topology, placements)
+
+    parameters = ParameterSet(
+        [
+            Parameter(
+                RESOLUTION,
+                "pixels",
+                DiscreteDomain(
+                    [_PHOTO_PIXELS / 16.0, _PHOTO_PIXELS / 4.0, _PHOTO_PIXELS]
+                ),
+            ),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([1.0, 4.0, 8.0])),
+        ]
+    )
+    content = ContentProfile(
+        content_id="product-photo",
+        variants=[
+            ContentVariant(
+                format=registry.get("jpeg-256c"),
+                configuration=Configuration(
+                    {RESOLUTION: _PHOTO_PIXELS, COLOR_DEPTH: 8.0}
+                ),
+                title="256-color product photo",
+            )
+        ],
+    )
+    device = DeviceProfile(
+        device_id="eink-badge",
+        decoders=["gif-2c"],
+        max_color_depth=1.0,
+        max_resolution=_PHOTO_PIXELS / 4.0,
+        cpu_mips=10.0,
+        memory_mb=4.0,
+    )
+    # The badge's owner only cares about legibility (resolution); depth is
+    # forced to 1 bit by the hardware anyway.
+    user = UserProfile(
+        user_id="badge-owner",
+        satisfaction_functions={
+            RESOLUTION: PiecewiseLinearSatisfaction(
+                [
+                    (_PHOTO_PIXELS / 16.0, 0.0),
+                    (_PHOTO_PIXELS / 4.0, 1.0),
+                ]
+            )
+        },
+        budget=2.0,  # the monolith (cost 3.0) is out of budget on purpose
+    )
+    return Scenario(
+        name="jpeg-to-gif",
+        registry=registry,
+        parameters=parameters,
+        catalog=catalog,
+        topology=topology,
+        placement=placement,
+        content=content,
+        device=device,
+        user=user,
+        sender_node="webserver",
+        receiver_node="badge",
+        description="Section 1's two-stage JPEG->GIF composition example",
+    )
+
+
+def html_to_wml_scenario() -> Scenario:
+    """The HTML → WML page-adaptation example from the introduction.
+
+    A news page stored as HTML must reach a WAP phone that renders only
+    WML.  Two chains exist: a direct ``html-to-wml`` converter, and a
+    two-stage path through ``table-to-text`` (the paper's "conversion of
+    HTML tables to plain text") followed by ``text-to-wml``.  The direct
+    converter produces richer pages (higher effective resolution), so the
+    algorithm prefers it while it is affordable.
+    """
+    registry = FormatRegistry()
+    registry.define("html", MediaType.TEXT, codec="html")
+    registry.define("plain-text", MediaType.TEXT, codec="txt")
+    registry.define("wml", MediaType.TEXT, codec="wml")
+
+    topology = NetworkTopology()
+    topology.node("webserver")
+    topology.node("wap-gateway")
+    topology.node("phone", cpu_mips=50.0, memory_mb=16.0)
+    topology.link("webserver", "wap-gateway", 2e6, delay_ms=8.0)
+    topology.link("wap-gateway", "phone", 9600.0, delay_ms=120.0)  # GSM data
+
+    # "Resolution" models page richness in rendered characters.
+    page_chars = 4000.0
+    catalog = ServiceCatalog(
+        [
+            ServiceDescriptor(
+                service_id="html-to-wml",
+                input_formats=("html",),
+                output_formats=("wml",),
+                cost=1.0,
+                description="direct HTML to WML conversion",
+            ),
+            ServiceDescriptor(
+                service_id="table-to-text",
+                input_formats=("html",),
+                output_formats=("plain-text",),
+                output_caps={RESOLUTION: page_chars / 4.0},
+                cost=0.2,
+                description="strip markup, tables to plain text",
+            ),
+            ServiceDescriptor(
+                service_id="text-to-wml",
+                input_formats=("plain-text",),
+                output_formats=("wml",),
+                cost=0.2,
+                description="wrap plain text as WML cards",
+            ),
+        ]
+    )
+    placement = ServicePlacement(
+        topology,
+        {
+            "html-to-wml": "wap-gateway",
+            "table-to-text": "wap-gateway",
+            "text-to-wml": "wap-gateway",
+        },
+    )
+    parameters = ParameterSet(
+        [
+            Parameter(RESOLUTION, "chars", ContinuousDomain(0.0, page_chars)),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([1.0])),
+        ]
+    )
+    content = ContentProfile(
+        content_id="news-page",
+        variants=[
+            ContentVariant(
+                format=registry.get("html"),
+                configuration=Configuration(
+                    {RESOLUTION: page_chars, COLOR_DEPTH: 1.0}
+                ),
+                title="front page",
+            )
+        ],
+    )
+    device = DeviceProfile(
+        device_id="wap-phone",
+        decoders=["wml"],
+        cpu_mips=50.0,
+        memory_mb=16.0,
+    )
+    user = UserProfile(
+        user_id="commuting-reader",
+        satisfaction_functions={
+            RESOLUTION: StepSatisfaction(
+                [(page_chars / 8.0, 0.3), (page_chars / 4.0, 0.7), (page_chars, 1.0)]
+            )
+        },
+        budget=5.0,
+    )
+    return Scenario(
+        name="html-to-wml",
+        registry=registry,
+        parameters=parameters,
+        catalog=catalog,
+        topology=topology,
+        placement=placement,
+        content=content,
+        device=device,
+        user=user,
+        sender_node="webserver",
+        receiver_node="phone",
+        description="Section 1's HTML->WML web adaptation example",
+    )

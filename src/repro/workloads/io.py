@@ -1,0 +1,193 @@
+"""Scenario persistence: whole scenarios as JSON documents.
+
+A :class:`~repro.workloads.scenario.Scenario` bundles everything a session
+needs; being able to write one to disk and load it back makes experiments
+shareable (and lets the CLI export/import them).  The document composes the
+existing serializers — profiles (:mod:`repro.profiles.serialization`),
+service descriptors, the network profile for the topology — plus format
+and parameter tables defined here.
+
+``scenario_to_dict`` / ``scenario_from_dict`` round-trip through plain
+JSON-compatible structures; ``save_scenario`` / ``load_scenario`` add the
+file layer.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Mapping, Union
+
+from repro.core.parameters import (
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.errors import ValidationError
+from repro.formats.format import MediaFormat, MediaType
+from repro.formats.registry import FormatRegistry
+from repro.network.placement import ServicePlacement
+from repro.profiles.network import NetworkProfile
+from repro.profiles.serialization import (
+    descriptor_from_dict,
+    descriptor_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
+from repro.services.catalog import ServiceCatalog
+from repro.workloads.scenario import Scenario
+
+__all__ = [
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+]
+
+
+# ----------------------------------------------------------------------
+# Formats
+# ----------------------------------------------------------------------
+
+def _format_to_dict(fmt: MediaFormat) -> Dict[str, Any]:
+    return {
+        "name": fmt.name,
+        "media_type": fmt.media_type.value,
+        "codec": fmt.codec,
+        "container": fmt.container,
+        "compression_ratio": fmt.compression_ratio,
+    }
+
+
+def _format_from_dict(data: Mapping[str, Any]) -> MediaFormat:
+    return MediaFormat(
+        name=data["name"],
+        media_type=MediaType(data.get("media_type", "video")),
+        codec=data.get("codec", ""),
+        container=data.get("container"),
+        compression_ratio=data.get("compression_ratio", 1.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parameters
+# ----------------------------------------------------------------------
+
+def _parameter_to_dict(parameter: Parameter) -> Dict[str, Any]:
+    domain = parameter.domain
+    if isinstance(domain, ContinuousDomain):
+        domain_data: Dict[str, Any] = {
+            "kind": "continuous",
+            "low": domain.low,
+            "high": domain.high,
+        }
+    elif isinstance(domain, DiscreteDomain):
+        domain_data = {"kind": "discrete", "values": list(domain.values)}
+    else:  # pragma: no cover - no other domain kinds exist
+        raise ValidationError(f"unknown domain type {type(domain).__name__}")
+    return {
+        "name": parameter.name,
+        "unit": parameter.unit,
+        "description": parameter.description,
+        "domain": domain_data,
+    }
+
+
+def _parameter_from_dict(data: Mapping[str, Any]) -> Parameter:
+    domain_data = data["domain"]
+    kind = domain_data.get("kind")
+    if kind == "continuous":
+        domain = ContinuousDomain(domain_data["low"], domain_data["high"])
+    elif kind == "discrete":
+        domain = DiscreteDomain(domain_data["values"])
+    else:
+        raise ValidationError(f"unknown domain kind {kind!r}")
+    return Parameter(
+        name=data["name"],
+        unit=data.get("unit", ""),
+        domain=domain,
+        description=data.get("description", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Serialize a full scenario to a JSON-compatible dictionary."""
+    return {
+        "document": "repro-scenario",
+        "version": 1,
+        "name": scenario.name,
+        "description": scenario.description,
+        "sender_node": scenario.sender_node,
+        "receiver_node": scenario.receiver_node,
+        "formats": [_format_to_dict(fmt) for fmt in scenario.registry],
+        "parameters": [_parameter_to_dict(p) for p in scenario.parameters],
+        "services": [descriptor_to_dict(d) for d in scenario.catalog],
+        "placement": scenario.placement.as_dict(),
+        "network": profile_to_dict(NetworkProfile.from_topology(scenario.topology)),
+        "content": profile_to_dict(scenario.content),
+        "device": profile_to_dict(scenario.device),
+        "user": profile_to_dict(scenario.user),
+        "context": (
+            profile_to_dict(scenario.context) if scenario.context is not None else None
+        ),
+    }
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
+    """Inverse of :func:`scenario_to_dict`."""
+    if data.get("document") != "repro-scenario":
+        raise ValidationError("not a repro scenario document")
+    if data.get("version") != 1:
+        raise ValidationError(f"unsupported scenario version {data.get('version')!r}")
+    registry = FormatRegistry(
+        _format_from_dict(fmt_data) for fmt_data in data["formats"]
+    )
+    parameters = ParameterSet(
+        _parameter_from_dict(p) for p in data["parameters"]
+    )
+    catalog = ServiceCatalog(
+        descriptor_from_dict(d) for d in data["services"]
+    )
+    network: NetworkProfile = profile_from_dict(data["network"])
+    topology = network.to_topology()
+    placement = ServicePlacement(topology, data["placement"])
+    context_data = data.get("context")
+    return Scenario(
+        name=data["name"],
+        registry=registry,
+        parameters=parameters,
+        catalog=catalog,
+        topology=topology,
+        placement=placement,
+        content=profile_from_dict(data["content"], registry),
+        device=profile_from_dict(data["device"]),
+        user=profile_from_dict(data["user"]),
+        sender_node=data["sender_node"],
+        receiver_node=data["receiver_node"],
+        context=(
+            profile_from_dict(context_data) if context_data is not None else None
+        ),
+        description=data.get("description", ""),
+    )
+
+
+def save_scenario(scenario: Scenario, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a scenario to a JSON file; returns the path."""
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(scenario_to_dict(scenario), indent=2) + "\n")
+    return target
+
+
+def load_scenario(path: Union[str, pathlib.Path]) -> Scenario:
+    """Read a scenario back from a JSON file."""
+    source = pathlib.Path(path)
+    try:
+        data = json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"malformed scenario file {source}: {exc}") from exc
+    return scenario_from_dict(data)

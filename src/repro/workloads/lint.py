@@ -1,0 +1,185 @@
+"""Scenario linting: catch inconsistent hand-built scenarios early.
+
+A scenario straddles five registries (formats, parameters, services,
+nodes, profiles); nothing in the dataclass itself forces them to agree.
+:func:`lint_scenario` cross-checks them and returns structured findings:
+
+- every format referenced by services, content, and device decoders is
+  registered;
+- every placed service exists in the catalog and sits on a topology node,
+  and every catalog service is placed;
+- sender/receiver nodes exist and are connected to the rest;
+- every configuration and cap parameter is in the parameter set, with
+  values inside their domains;
+- the user's preference parameters exist;
+- (warning) services whose inputs no one produces, or whose outputs no
+  one consumes — allowed by the paper but usually authoring mistakes;
+- (warning) a device that cannot decode any producible format — selection
+  is guaranteed to FAIL.
+
+Errors mean selection would crash or silently misbehave; warnings mean it
+will run but probably not do what the author intended.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.scenario import Scenario
+
+__all__ = ["Severity", "Finding", "lint_scenario"]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint result."""
+
+    severity: Severity
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.subject}: {self.message}"
+
+
+def lint_scenario(scenario: Scenario) -> List[Finding]:
+    """Cross-check a scenario; returns findings (empty = clean)."""
+    findings: List[Finding] = []
+    error = lambda subject, message: findings.append(  # noqa: E731
+        Finding(Severity.ERROR, subject, message)
+    )
+    warning = lambda subject, message: findings.append(  # noqa: E731
+        Finding(Severity.WARNING, subject, message)
+    )
+
+    registry = scenario.registry
+    parameters = scenario.parameters
+
+    # ------------------------------------------------------------------
+    # Formats referenced anywhere must be registered.
+    # ------------------------------------------------------------------
+    for descriptor in scenario.catalog:
+        for fmt in (*descriptor.input_formats, *descriptor.output_formats):
+            if fmt not in registry:
+                error(
+                    descriptor.service_id,
+                    f"references unregistered format {fmt!r}",
+                )
+    for variant in scenario.content.variants:
+        if variant.format.name not in registry:
+            error(
+                scenario.content.content_id,
+                f"variant format {variant.format.name!r} is unregistered",
+            )
+    for decoder in scenario.device.decoders:
+        if decoder not in registry:
+            error(
+                scenario.device.device_id,
+                f"decoder {decoder!r} is unregistered",
+            )
+
+    # ------------------------------------------------------------------
+    # Placement <-> catalog <-> topology agreement.
+    # ------------------------------------------------------------------
+    placed = scenario.placement.as_dict()
+    for service_id, node_id in placed.items():
+        if service_id not in scenario.catalog:
+            error(service_id, "placed but not in the catalog")
+        if node_id not in scenario.topology:
+            error(service_id, f"placed on unknown node {node_id!r}")
+    for descriptor in scenario.catalog:
+        if descriptor.service_id not in placed:
+            warning(
+                descriptor.service_id,
+                "in the catalog but unplaced (the graph builder will skip it)",
+            )
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+    for label, node in (
+        ("sender_node", scenario.sender_node),
+        ("receiver_node", scenario.receiver_node),
+    ):
+        if node not in scenario.topology:
+            error(label, f"node {node!r} is not in the topology")
+    if (
+        scenario.sender_node in scenario.topology
+        and scenario.receiver_node in scenario.topology
+        and scenario.sender_node != scenario.receiver_node
+        and scenario.topology.widest_path(
+            scenario.sender_node, scenario.receiver_node
+        )
+        is None
+    ):
+        error(
+            "topology",
+            f"{scenario.sender_node!r} and {scenario.receiver_node!r} are "
+            f"disconnected",
+        )
+
+    # ------------------------------------------------------------------
+    # Parameters: configurations, caps, preferences inside domains.
+    # ------------------------------------------------------------------
+    for variant in scenario.content.variants:
+        for name, value in variant.configuration.items():
+            if name not in parameters:
+                error(
+                    scenario.content.content_id,
+                    f"configuration uses unknown parameter {name!r}",
+                )
+            elif parameters[name].clamp_down(value) is None:
+                error(
+                    scenario.content.content_id,
+                    f"{name}={value:g} lies below the domain minimum",
+                )
+    for descriptor in scenario.catalog:
+        for name in descriptor.output_caps:
+            if name not in parameters:
+                warning(
+                    descriptor.service_id,
+                    f"caps unknown parameter {name!r} (ignored by the optimizer)",
+                )
+    for name in scenario.user.preference_parameters():
+        if name not in parameters:
+            error(
+                scenario.user.user_id,
+                f"has a preference for unknown parameter {name!r}",
+            )
+
+    # ------------------------------------------------------------------
+    # Format flow sanity (warnings).
+    # ------------------------------------------------------------------
+    produced = set(scenario.content.format_names())
+    for descriptor in scenario.catalog:
+        produced.update(descriptor.output_formats)
+    consumed = set(scenario.device.decoders)
+    for descriptor in scenario.catalog:
+        consumed.update(descriptor.input_formats)
+    for descriptor in scenario.catalog:
+        if not any(fmt in produced for fmt in descriptor.input_formats):
+            warning(
+                descriptor.service_id,
+                "no one produces any of its input formats",
+            )
+        if not any(fmt in consumed for fmt in descriptor.output_formats):
+            warning(
+                descriptor.service_id,
+                "no one consumes any of its output formats",
+            )
+    if not any(fmt in produced for fmt in scenario.device.decoders):
+        warning(
+            scenario.device.device_id,
+            "cannot decode any producible format; selection will FAIL",
+        )
+    return findings

@@ -1,0 +1,510 @@
+"""The paper's exact scenarios: Figures 1, 2, 3, 6 and Table 1.
+
+The paper prints Table 1 (the 15-round selection trace over the Figure 6
+graph) but not the underlying numbers — Figure 6 is a drawing without edge
+bandwidths.  Two printed facts pin the reconstruction down:
+
+1. satisfaction 0.76 is shown alongside a delivered frame rate of 23, yet
+   23/30 = 0.767; likewise 0.66 alongside 20 (20/30 = 0.667).  The printed
+   values are therefore *rounded* — the true frame rates sit slightly below
+   the printed integers (0.76·30 = 22.8, 0.66·30 = 19.8);
+2. the greedy settles candidates in non-increasing satisfaction order, so
+   the true satisfactions along Table 1's rows decrease monotonically (and,
+   absent any stated tie rule, we reconstruct them *strictly* decreasing).
+
+From these we assign each service a target frame rate (the ``_TARGET_FPS``
+table below), encode it into link bandwidths and per-format compression
+ratios, and obtain a scenario whose trace reproduces every row of Table 1
+— same VT/CS sets in the same order, same selected service, same path, and
+the same printed frame rate and satisfaction — which the E7 bench and the
+test suite verify cell by cell.
+
+The user model is the paper's: a single frame-rate preference with the
+linear satisfaction ``S(fps) = fps / 30`` (minimum acceptable 0, ideal 30);
+with one parameter, Equation 1 reduces to that single satisfaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import LinearSatisfaction, PiecewiseLinearSatisfaction
+from repro.formats.format import MediaFormat, MediaType
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.network.placement import ServicePlacement
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import UserProfile
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor
+from repro.workloads.scenario import Scenario
+
+__all__ = [
+    "figure1_satisfaction",
+    "figure2_service",
+    "figure3_scenario",
+    "figure6_scenario",
+    "table1_expected_rows",
+]
+
+
+# ======================================================================
+# Figure 1 — a possible satisfaction function for the frame rate
+# ======================================================================
+
+def figure1_satisfaction() -> PiecewiseLinearSatisfaction:
+    """Figure 1's frame-rate satisfaction function.
+
+    The figure shows satisfaction 0 up to a minimum acceptable rate of
+    5 fps, a monotone rise across the 5..20 range, and 1 at the ideal of
+    20 fps.  The exact curve is drawn, not tabulated; we use a concave
+    piecewise-linear shape matching the drawing's proportions.
+    """
+    return PiecewiseLinearSatisfaction(
+        [(5.0, 0.0), (10.0, 0.55), (15.0, 0.85), (20.0, 1.0)]
+    )
+
+
+# ======================================================================
+# Figures 2 & 3 — the construction example
+# ======================================================================
+
+#: Fixed video geometry used by both paper scenarios.  Table 1's example
+#: varies only the frame rate, so resolution and color depth are pinned to
+#: single-value domains (QVGA at 24-bit color).
+_PIXELS = 320.0 * 240.0
+_DEPTH = 24.0
+_RAW_FRAME_BITS = _PIXELS * _DEPTH
+
+
+def _paper_parameters() -> ParameterSet:
+    """Frame rate free in [0, 60]; resolution and depth pinned."""
+    return ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([_PIXELS])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([_DEPTH])),
+        ]
+    )
+
+
+def _paper_user(budget: float = 100.0) -> UserProfile:
+    """The Table 1 user: linear frame-rate satisfaction, ideal 30 fps."""
+    return UserProfile(
+        user_id="paper-user",
+        satisfaction_functions={FRAME_RATE: LinearSatisfaction(0.0, 30.0)},
+        budget=budget,
+    )
+
+
+def _source_variant(registry: FormatRegistry, format_name: str) -> ContentVariant:
+    return ContentVariant(
+        format=registry.get(format_name),
+        configuration=Configuration(
+            {FRAME_RATE: 30.0, RESOLUTION: _PIXELS, COLOR_DEPTH: _DEPTH}
+        ),
+        title="paper content",
+    )
+
+
+def figure3_scenario() -> Scenario:
+    """The Figure 3 construction example.
+
+    One sender (output links F3, F4, F5), one receiver (input links F14,
+    F15, F16), and seven intermediate trans-coding services.  T1 is the
+    Figure 2 vertex: input links {F5, F6}, output links {F10..F13}.  Edge
+    bandwidths are uniform — this scenario demonstrates *construction*
+    (which edges exist), not quality trade-offs.
+    """
+    registry = FormatRegistry()
+    for index in (3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16):
+        registry.define(f"F{index}", MediaType.VIDEO, codec=f"codec-{index}", compression_ratio=12.0)
+
+    def transcoder(service_id: str, inputs, outputs) -> ServiceDescriptor:
+        return ServiceDescriptor(
+            service_id=service_id,
+            input_formats=tuple(inputs),
+            output_formats=tuple(outputs),
+            cost=1.0,
+        )
+
+    catalog = ServiceCatalog(
+        [
+            transcoder("T1", ["F5", "F6"], ["F10", "F11", "F12", "F13"]),
+            transcoder("T2", ["F3"], ["F6", "F8"]),
+            transcoder("T3", ["F4"], ["F9"]),
+            transcoder("T4", ["F9"], ["F11", "F12"]),
+            transcoder("T5", ["F8"], ["F14"]),
+            transcoder("T6", ["F10", "F11"], ["F15"]),
+            transcoder("T7", ["F12", "F13"], ["F16"]),
+        ]
+    )
+
+    topology = NetworkTopology()
+    topology.node("ns")
+    topology.node("nr")
+    for index in range(1, 8):
+        topology.node(f"n{index}")
+    uniform_bandwidth = 10e6
+    for index in range(1, 8):
+        topology.link("ns", f"n{index}", uniform_bandwidth)
+        topology.link(f"n{index}", "nr", uniform_bandwidth)
+
+    placement = ServicePlacement(
+        topology, {f"T{index}": f"n{index}" for index in range(1, 8)}
+    )
+
+    content = ContentProfile(
+        content_id="figure3-content",
+        variants=[
+            _source_variant(registry, "F3"),
+            _source_variant(registry, "F4"),
+            _source_variant(registry, "F5"),
+        ],
+    )
+    device = DeviceProfile(
+        device_id="figure3-device",
+        decoders=["F14", "F15", "F16"],
+        max_frame_rate=30.0,
+    )
+    return Scenario(
+        name="figure3",
+        registry=registry,
+        parameters=_paper_parameters(),
+        catalog=catalog,
+        topology=topology,
+        placement=placement,
+        content=content,
+        device=device,
+        user=_paper_user(),
+        sender_node="ns",
+        receiver_node="nr",
+        description="Figure 3 graph-construction example",
+    )
+
+
+def figure2_service() -> ServiceDescriptor:
+    """Figure 2's trans-coding service: T1 of the Figure 3 example."""
+    return figure3_scenario().catalog.get("T1")
+
+
+# ======================================================================
+# Figure 6 + Table 1 — the worked selection example
+# ======================================================================
+
+#: Receiver access-link bandwidth.  All last hops share it; per-format
+#: compression ratios turn it into the per-parent frame-rate ceilings that
+#: Table 1 exhibits.
+_ACCESS_BW = 2_000_000.0
+
+#: True (pre-rounding) frame rate each service delivers when settled,
+#: reconstructed from Table 1 as described in the module docstring.  The
+#: printed table shows round(fps) and round(fps/30, 2).
+_TARGET_FPS: Dict[str, float] = {
+    "T1": 22.86,
+    "T2": 22.90,
+    "T3": 22.94,
+    "T4": 27.00,
+    "T5": 27.10,
+    "T6": 19.80,
+    "T7": 19.86,
+    "T8": 19.90,
+    "T9": 18.00,   # never settled before the receiver (0.60)
+    "T10": 30.00,
+    "T11": 22.83,
+    "T12": 22.74,
+    "T13": 22.80,
+    "T14": 22.70,
+    "T15": 10.00,  # never settled (0.33)
+    "T19": 12.00,  # never settled (<= 0.50 after widest-path routing)
+    "T20": 29.90,
+}
+
+#: Frame-rate ceiling each receiver-decodable format hits on the access
+#: link (bandwidth / bits-per-frame).  The receiver's final rate via T7 is
+#: 19.75 — printed as "20" and "0.66" exactly like Table 1's last row.
+_ACCESS_FPS: Dict[str, float] = {
+    "F6": 15.5,    # output of T6
+    "F7": 19.75,   # output of T7 — the winning last hop
+    "F8": 16.0,    # output of T8
+    "F10": 15.0,   # output of T10
+    "F11o": 12.5,  # output of T11
+    "F12o": 12.3,  # output of T12
+    "F13o": 12.4,  # output of T13
+    "F14o": 12.2,  # output of T14
+    "F19": 12.0,   # output of T19
+    "F20": 15.2,   # output of T20
+}
+
+#: Bits per encoded frame for formats that never reach the receiver
+#: (outputs of T1..T5, T9, T15); any plausible value works.
+_INTERIOR_FRAME_BITS = 150_000.0
+
+#: Bits per encoded frame of the sender's source format F0.
+_SOURCE_FRAME_BITS = _RAW_FRAME_BITS / 10.0  # compression ratio 10
+
+
+def _figure6_registry() -> FormatRegistry:
+    registry = FormatRegistry()
+
+    def define(name: str, frame_bits: float) -> None:
+        # MediaFormat models frame size as raw_bits / compression_ratio.
+        registry.define(
+            name,
+            MediaType.VIDEO,
+            codec=name.lower(),
+            compression_ratio=_RAW_FRAME_BITS / frame_bits,
+        )
+
+    define("F0", _SOURCE_FRAME_BITS)
+    for name, access_fps in _ACCESS_FPS.items():
+        define(name, _ACCESS_BW / access_fps)
+    for name in ("F1", "F2", "F3", "F4", "F5", "F9", "F15o"):
+        define(name, _INTERIOR_FRAME_BITS)
+    return registry
+
+
+def _figure6_catalog(include_t7: bool) -> ServiceCatalog:
+    """The twenty trans-coding services of Figure 6.
+
+    T1..T10 accept the source format F0.  T11..T15, T19, T20 form the
+    second tier: T11 follows T1, T12/T13 follow T2, T14 follows T3, T15
+    follows T4/T5, and T19/T20 follow T10 — exactly the neighbor-insertion
+    order Table 1's CS column reveals.
+    """
+
+    def transcoder(service_id, inputs, outputs) -> ServiceDescriptor:
+        return ServiceDescriptor(
+            service_id=service_id,
+            input_formats=tuple(inputs),
+            output_formats=tuple(outputs),
+            cost=1.0,
+            description=f"Figure 6 service {service_id}",
+        )
+
+    services = [
+        transcoder("T1", ["F0"], ["F1"]),
+        transcoder("T2", ["F0"], ["F2"]),
+        transcoder("T3", ["F0"], ["F3"]),
+        transcoder("T4", ["F0"], ["F4"]),
+        transcoder("T5", ["F0"], ["F5"]),
+        transcoder("T6", ["F0"], ["F6"]),
+        transcoder("T8", ["F0"], ["F8"]),
+        transcoder("T9", ["F0"], ["F9"]),
+        transcoder("T10", ["F0"], ["F10"]),
+        transcoder("T11", ["F1"], ["F11o"]),
+        transcoder("T12", ["F2"], ["F12o"]),
+        transcoder("T13", ["F2"], ["F13o"]),
+        transcoder("T14", ["F3"], ["F14o"]),
+        transcoder("T15", ["F4", "F5"], ["F15o"]),
+        transcoder("T19", ["F10"], ["F19"]),
+        transcoder("T20", ["F10"], ["F20"]),
+    ]
+    if include_t7:
+        services.append(transcoder("T7", ["F0"], ["F7"]))
+    return ServiceCatalog(services)
+
+
+def _figure6_topology(include_t7: bool) -> NetworkTopology:
+    """Hosts and links whose bandwidths encode the ``_TARGET_FPS`` table.
+
+    Every service runs on its own host ``n<i>``; the sender is on ``ns``
+    and the receiver on ``nr``.  A first-tier link ``ns--n<i>`` carries F0
+    at exactly the service's target rate; a second-tier link carries the
+    parent's output format at the child's target rate; every access link
+    ``n<i>--nr`` has the same 2 Mbit/s, the per-format ceilings coming from
+    frame size.
+    """
+    topology = NetworkTopology()
+    topology.node("ns")
+    topology.node("nr")
+    first_tier = ["T1", "T2", "T3", "T4", "T5", "T6", "T8", "T9", "T10"]
+    if include_t7:
+        first_tier.append("T7")
+    second_tier = ["T11", "T12", "T13", "T14", "T15", "T19", "T20"]
+    for service_id in first_tier + second_tier:
+        topology.node(f"n{service_id[1:]}")
+
+    for service_id in first_tier:
+        bandwidth = _TARGET_FPS[service_id] * _SOURCE_FRAME_BITS
+        topology.link("ns", f"n{service_id[1:]}", bandwidth, delay_ms=5.0)
+
+    interior = _INTERIOR_FRAME_BITS
+    f10_bits = _ACCESS_BW / _ACCESS_FPS["F10"]
+    second_tier_links = [
+        ("n1", "n11", _TARGET_FPS["T11"] * interior),
+        ("n2", "n12", _TARGET_FPS["T12"] * interior),
+        ("n2", "n13", _TARGET_FPS["T13"] * interior),
+        ("n3", "n14", _TARGET_FPS["T14"] * interior),
+        ("n5", "n15", _TARGET_FPS["T15"] * interior),
+        ("n4", "n15", 9.0 * interior),  # weaker than the T5 route
+        ("n10", "n19", _TARGET_FPS["T19"] * f10_bits),
+        ("n10", "n20", _TARGET_FPS["T20"] * f10_bits),
+    ]
+    for a, b, bandwidth in second_tier_links:
+        topology.link(a, b, bandwidth, delay_ms=5.0)
+
+    access_hosts = ["n6", "n8", "n10", "n11", "n12", "n13", "n14", "n19", "n20"]
+    if include_t7:
+        access_hosts.append("n7")
+    for host in access_hosts:
+        topology.link(host, "nr", _ACCESS_BW, delay_ms=10.0)
+    return topology
+
+
+def figure6_scenario(include_t7: bool = True, budget: float = 100.0) -> Scenario:
+    """The Figure 6 / Table 1 worked example.
+
+    With T7 (the paper's primary case) the selected path is
+    ``sender, T7, receiver`` at printed frame rate 20 and satisfaction
+    0.66.  Without T7 (Figure 6 also draws that variant) the best last hop
+    degrades to T8 and the satisfaction drops to 0.53.
+    """
+    registry = _figure6_registry()
+    catalog = _figure6_catalog(include_t7)
+    topology = _figure6_topology(include_t7)
+    placement = ServicePlacement(
+        topology,
+        {service_id: f"n{service_id[1:]}" for service_id in catalog.ids()},
+    )
+    content = ContentProfile(
+        content_id="figure6-content",
+        variants=[_source_variant(registry, "F0")],
+        title="Figure 6 source stream",
+    )
+    decoders = ["F6", "F7", "F8", "F10", "F11o", "F12o", "F13o", "F14o", "F19", "F20"]
+    if not include_t7:
+        decoders.remove("F7")
+    device = DeviceProfile(
+        device_id="figure6-device",
+        decoders=decoders,
+        max_frame_rate=60.0,
+    )
+    return Scenario(
+        name="figure6" if include_t7 else "figure6-without-t7",
+        registry=registry,
+        parameters=_paper_parameters(),
+        catalog=catalog,
+        topology=topology,
+        placement=placement,
+        content=content,
+        device=device,
+        user=_paper_user(budget),
+        sender_node="ns",
+        receiver_node="nr",
+        description="Figure 6 / Table 1 worked example",
+    )
+
+
+# ======================================================================
+# Table 1 — the paper's printed rows, as data
+# ======================================================================
+
+def table1_expected_rows() -> List[Dict[str, object]]:
+    """Table 1 exactly as printed, one dict per round.
+
+    Keys: ``vt`` and ``cs`` (tuples in the paper's listing order),
+    ``selected``, ``path`` (tuple), ``frame_rate`` (printed integer as a
+    string) and ``satisfaction`` (printed two-decimal string).
+    """
+
+    def row(vt, cs, selected, path, fps, sat) -> Dict[str, object]:
+        return {
+            "vt": tuple(vt),
+            "cs": tuple(cs),
+            "selected": selected,
+            "path": tuple(path),
+            "frame_rate": fps,
+            "satisfaction": sat,
+        }
+
+    t = [f"T{i}" for i in range(0, 21)]  # t[1] == "T1" etc.
+    return [
+        row(
+            ["sender"],
+            [t[1], t[2], t[3], t[4], t[5], t[6], t[7], t[8], t[9], t[10]],
+            "T10", ["sender", "T10"], "30", "1.00",
+        ),
+        row(
+            ["sender", "T10"],
+            [t[1], t[2], t[3], t[4], t[5], t[6], t[7], t[8], t[9], t[19], t[20], "receiver"],
+            "T20", ["sender", "T10", "T20"], "30", "1.00",
+        ),
+        row(
+            ["sender", "T10", "T20"],
+            [t[1], t[2], t[3], t[4], t[5], t[6], t[7], t[8], t[9], t[19], "receiver"],
+            "T5", ["sender", "T5"], "27", "0.90",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5"],
+            [t[1], t[2], t[3], t[4], t[6], t[7], t[8], t[9], t[19], t[15], "receiver"],
+            "T4", ["sender", "T4"], "27", "0.90",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4"],
+            [t[1], t[2], t[3], t[6], t[7], t[8], t[9], t[19], t[15], "receiver"],
+            "T3", ["sender", "T3"], "23", "0.76",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3"],
+            [t[1], t[2], t[6], t[7], t[8], t[9], t[19], t[15], t[14], "receiver"],
+            "T2", ["sender", "T2"], "23", "0.76",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2"],
+            [t[1], t[6], t[7], t[8], t[9], t[19], t[15], t[14], t[12], t[13], "receiver"],
+            "T1", ["sender", "T1"], "23", "0.76",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1"],
+            [t[6], t[7], t[8], t[9], t[19], t[15], t[14], t[12], t[13], t[11], "receiver"],
+            "T11", ["sender", "T1", "T11"], "23", "0.76",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1", "T11"],
+            [t[6], t[7], t[8], t[9], t[19], t[15], t[14], t[12], t[13], "receiver"],
+            "T13", ["sender", "T2", "T13"], "23", "0.76",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1", "T11", "T13"],
+            [t[6], t[7], t[8], t[9], t[19], t[15], t[14], t[12], "receiver"],
+            "T12", ["sender", "T2", "T12"], "23", "0.76",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1", "T11", "T13", "T12"],
+            [t[6], t[7], t[8], t[9], t[19], t[15], t[14], "receiver"],
+            "T14", ["sender", "T3", "T14"], "23", "0.76",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1", "T11", "T13", "T12", "T14"],
+            [t[6], t[7], t[8], t[9], t[19], t[15], "receiver"],
+            "T8", ["sender", "T8"], "20", "0.66",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1", "T11", "T13", "T12", "T14", "T8"],
+            [t[6], t[7], t[9], t[19], t[15], "receiver"],
+            "T7", ["sender", "T7"], "20", "0.66",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1", "T11", "T13", "T12", "T14", "T8", "T7"],
+            [t[6], t[9], t[19], t[15], "receiver"],
+            "T6", ["sender", "T6"], "20", "0.66",
+        ),
+        row(
+            ["sender", "T10", "T20", "T5", "T4", "T3", "T2", "T1", "T11", "T13", "T12", "T14", "T8", "T7", "T6"],
+            [t[9], t[19], t[15], "receiver"],
+            "receiver", ["sender", "T7", "receiver"], "20", "0.66",
+        ),
+    ]

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import (
+    CombinedSatisfaction,
+    HarmonicCombiner,
+    LinearSatisfaction,
+)
+from repro.formats.format import MediaFormat, MediaType
+from repro.formats.registry import FormatRegistry
+from repro.workloads.paper import figure3_scenario, figure6_scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+
+@pytest.fixture(scope="session")
+def fig6():
+    """The Figure 6 / Table 1 scenario (session-scoped: it is immutable)."""
+    return figure6_scenario()
+
+
+@pytest.fixture(scope="session")
+def fig6_no_t7():
+    return figure6_scenario(include_t7=False)
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return figure3_scenario()
+
+
+@pytest.fixture
+def simple_parameters() -> ParameterSet:
+    """Frame rate free, resolution/depth in small discrete domains."""
+    return ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([76800.0, 307200.0])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([8.0, 24.0])),
+        ]
+    )
+
+
+@pytest.fixture
+def frame_rate_satisfaction() -> CombinedSatisfaction:
+    """The paper's frame-rate-only preference: S(fps) = fps / 30."""
+    return CombinedSatisfaction(
+        functions={FRAME_RATE: LinearSatisfaction(0.0, 30.0)},
+        combiner=HarmonicCombiner(),
+    )
+
+
+@pytest.fixture
+def video_format() -> MediaFormat:
+    return MediaFormat(
+        name="test-video",
+        media_type=MediaType.VIDEO,
+        codec="test",
+        compression_ratio=10.0,
+    )
+
+
+@pytest.fixture
+def full_config() -> Configuration:
+    return Configuration(
+        {FRAME_RATE: 30.0, RESOLUTION: 76800.0, COLOR_DEPTH: 24.0}
+    )
+
+
+@pytest.fixture
+def small_synthetic():
+    """A small deterministic synthetic scenario."""
+    return generate_scenario(SyntheticConfig(seed=7, n_services=12, n_formats=8))

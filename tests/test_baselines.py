@@ -1,0 +1,204 @@
+"""Unit tests for the baseline selectors and the shared path evaluator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    CheapestPathSelector,
+    ExhaustiveSelector,
+    FewestHopsSelector,
+    RandomPathSelector,
+    WidestPathSelector,
+    evaluate_path,
+)
+from repro.core.optimizer import ConfigurationOptimizer
+from repro.core.selection import QoSPathSelector
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+from tests.test_selection import fps_satisfaction, pinned_parameters, tiny_world
+
+
+def all_baselines(graph, registry, parameters, satisfaction, budget=math.inf):
+    return {
+        "exhaustive": ExhaustiveSelector(graph, registry, parameters, satisfaction, budget),
+        "fewest-hops": FewestHopsSelector(graph, registry, parameters, satisfaction, budget),
+        "widest": WidestPathSelector(graph, registry, parameters, satisfaction, budget),
+        "cheapest": CheapestPathSelector(graph, registry, parameters, satisfaction, budget),
+        "random": RandomPathSelector(graph, registry, parameters, satisfaction, budget, seed=3),
+    }
+
+
+class TestEvaluatePath:
+    def test_matches_selector_on_winning_path(self, fig6):
+        graph = fig6.build_graph()
+        satisfaction = fig6.user.satisfaction()
+        optimizer = ConfigurationOptimizer(fig6.parameters, satisfaction)
+        greedy = fig6.selector(graph=graph).run()
+        # Reconstruct the winning path's edges.
+        edges = []
+        for source, target, fmt in zip(
+            greedy.path, greedy.path[1:], greedy.formats
+        ):
+            edges.append(
+                next(
+                    e
+                    for e in graph.out_edges(source)
+                    if e.target == target and e.format_name == fmt
+                )
+            )
+        evaluation = evaluate_path(graph, edges, fig6.registry, optimizer)
+        assert evaluation is not None
+        _, satisfaction_value, cost = evaluation
+        assert satisfaction_value == pytest.approx(greedy.satisfaction)
+        assert cost == pytest.approx(greedy.accumulated_cost)
+
+    def test_empty_path_is_none(self, fig6):
+        graph = fig6.build_graph()
+        optimizer = ConfigurationOptimizer(
+            fig6.parameters, fig6.user.satisfaction()
+        )
+        assert evaluate_path(graph, [], fig6.registry, optimizer) is None
+
+    def test_budget_violation_is_none(self, fig6):
+        graph = fig6.build_graph()
+        optimizer = ConfigurationOptimizer(
+            fig6.parameters, fig6.user.satisfaction()
+        )
+        edges = [graph.out_edges("sender")[0]]
+        assert (
+            evaluate_path(graph, edges, fig6.registry, optimizer, budget=0.0)
+            is None
+        )
+
+
+class TestExhaustive:
+    def test_equals_greedy_on_the_paper_graph(self, fig6):
+        graph = fig6.build_graph()
+        satisfaction = fig6.user.satisfaction()
+        greedy = fig6.selector(graph=graph).run()
+        exhaustive = ExhaustiveSelector(
+            graph, fig6.registry, fig6.parameters, satisfaction, fig6.user.budget
+        )
+        result = exhaustive.run()
+        assert result.success
+        assert result.satisfaction == pytest.approx(greedy.satisfaction)
+        assert result.path == greedy.path
+
+    def test_reports_paths_examined(self, fig6):
+        graph = fig6.build_graph()
+        exhaustive = ExhaustiveSelector(
+            graph, fig6.registry, fig6.parameters, fig6.user.satisfaction()
+        )
+        exhaustive.run()
+        assert exhaustive.paths_examined > 0
+        assert not exhaustive.hit_enumeration_bound
+
+    def test_enumeration_bound_flag(self, fig6):
+        graph = fig6.build_graph()
+        exhaustive = ExhaustiveSelector(
+            graph,
+            fig6.registry,
+            fig6.parameters,
+            fig6.user.satisfaction(),
+            max_paths=2,
+        )
+        exhaustive.run()
+        assert exhaustive.hit_enumeration_bound
+
+    def test_failure_without_path(self):
+        registry, graph = tiny_world(decoders=("F9",))
+        result = ExhaustiveSelector(
+            graph, registry, pinned_parameters(), fps_satisfaction()
+        ).run()
+        assert not result.success
+
+
+class TestClassicBaselines:
+    def test_fewest_hops_finds_a_shortest_route(self, fig6):
+        graph = fig6.build_graph()
+        result = FewestHopsSelector(
+            graph, fig6.registry, fig6.parameters, fig6.user.satisfaction()
+        ).run()
+        assert result.success
+        assert len(result.path) == 3  # sender, one transcoder, receiver
+
+    def test_widest_path_maximizes_bottleneck(self):
+        registry, graph = tiny_world(t1_bw_fps=25.0, t2_bw_fps=15.0)
+        result = WidestPathSelector(
+            graph, registry, pinned_parameters(), fps_satisfaction()
+        ).run()
+        assert result.success
+        # F1 has smaller frames, so the T1 route carries more frames/sec;
+        # bit-bandwidth is identical, so either route may win — the widest
+        # selector only promises *a* max-bottleneck path.
+        assert result.path[0] == "sender" and result.path[-1] == "receiver"
+
+    def test_cheapest_path_minimizes_cost(self):
+        registry, graph = tiny_world(t1_cost=5.0, t2_cost=0.5)
+        result = CheapestPathSelector(
+            graph, registry, pinned_parameters(), fps_satisfaction()
+        ).run()
+        assert result.success
+        assert "T2" in result.path
+        assert result.accumulated_cost == pytest.approx(0.5)
+
+    def test_random_is_deterministic_per_seed(self, fig6):
+        graph = fig6.build_graph()
+        a = RandomPathSelector(
+            graph, fig6.registry, fig6.parameters, fig6.user.satisfaction(), seed=11
+        ).run()
+        b = RandomPathSelector(
+            graph, fig6.registry, fig6.parameters, fig6.user.satisfaction(), seed=11
+        ).run()
+        assert a.path == b.path
+
+    def test_all_baselines_fail_gracefully(self):
+        registry, graph = tiny_world(decoders=("F9",))
+        for name, selector in all_baselines(
+            graph, registry, pinned_parameters(), fps_satisfaction()
+        ).items():
+            result = selector.run()
+            assert not result.success, name
+
+
+class TestGreedyDominatesBaselines:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_greedy_at_least_as_good_as_every_baseline(self, seed):
+        scenario = generate_scenario(SyntheticConfig(seed=seed, n_services=16))
+        graph = scenario.build_graph()
+        satisfaction = scenario.user.satisfaction()
+        greedy = QoSPathSelector.for_user(
+            graph, scenario.registry, scenario.parameters, scenario.user
+        ).run()
+        for name, selector in all_baselines(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            satisfaction,
+            scenario.user.budget,
+        ).items():
+            result = selector.run()
+            if result.success:
+                assert greedy.satisfaction >= result.satisfaction - 1e-9, name
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_greedy_equals_exhaustive(self, seed):
+        """The Figure 5 optimality claim, checked against brute force."""
+        scenario = generate_scenario(SyntheticConfig(seed=seed, n_services=16))
+        graph = scenario.build_graph()
+        greedy = QoSPathSelector.for_user(
+            graph, scenario.registry, scenario.parameters, scenario.user
+        ).run()
+        exhaustive = ExhaustiveSelector(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            scenario.user.satisfaction(),
+            scenario.user.budget,
+        ).run()
+        assert greedy.success == exhaustive.success
+        if greedy.success:
+            assert greedy.satisfaction == pytest.approx(exhaustive.satisfaction)

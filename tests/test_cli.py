@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestTable1Command:
+    def test_prints_the_trace(self):
+        code, text = run_cli("table1")
+        assert code == 0
+        assert "Round" in text
+        assert "sender,T7,receiver" in text
+        assert text.count("0.76") >= 7  # the seven 0.76 rounds
+
+
+class TestFigure6Command:
+    def test_with_t7(self):
+        code, text = run_cli("figure6")
+        assert code == 0
+        assert "sender,T7,receiver" in text
+        assert "0.6583" in text
+
+    def test_without_t7(self):
+        code, text = run_cli("figure6", "--without-t7")
+        assert code == 0
+        assert "sender,T8,receiver" in text
+
+
+class TestSyntheticCommand:
+    def test_select_only(self):
+        code, text = run_cli("synthetic", "--seed", "3", "--services", "12")
+        assert code == 0
+        assert "12 services" in text
+        assert "satisfaction" in text
+
+    def test_with_delivery(self):
+        code, text = run_cli(
+            "synthetic", "--seed", "3", "--services", "12", "--deliver", "3"
+        )
+        assert code == 0
+        assert "startup latency" in text
+        assert "frames:" in text
+
+    def test_deterministic(self):
+        _, first = run_cli("synthetic", "--seed", "5")
+        _, second = run_cli("synthetic", "--seed", "5")
+        assert first == second
+
+
+class TestAnalyzeCommand:
+    def test_paper_scenario(self):
+        code, text = run_cli("analyze", "figure6")
+        assert code == 0
+        assert "17 transcoders" in text
+        assert "dead services" in text
+
+    def test_synthetic_seed(self):
+        code, text = run_cli("analyze", "4")
+        assert code == 0
+        assert "vertices:" in text
+
+    def test_bad_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("analyze", "not-a-thing")
+
+
+class TestCatalogCommand:
+    def test_paper_catalog_is_xml(self):
+        code, text = run_cli("catalog", "--paper", "figure3")
+        assert code == 0
+        assert text.startswith("<catalog>")
+        assert 'name="T1"' in text
+
+    def test_synthetic_catalog_round_trips(self):
+        from repro.discovery.wsdl import catalog_from_wsdl
+
+        code, text = run_cli("catalog", "--seed", "2")
+        assert code == 0
+        catalog = catalog_from_wsdl(text.strip())
+        assert len(catalog) > 0
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestExportSolveCommands:
+    def test_export_then_solve(self, tmp_path):
+        import io as _io
+        from repro.cli import main as _main
+
+        path = str(tmp_path / "fig6.json")
+        out = _io.StringIO()
+        assert _main(["export", path, "--paper", "figure6"], out=out) == 0
+        assert "figure6" in out.getvalue()
+
+        out = _io.StringIO()
+        assert _main(["solve", path], out=out) == 0
+        assert "sender,T7,receiver" in out.getvalue()
+
+    def test_solve_with_trace(self, tmp_path):
+        import io as _io
+        from repro.cli import main as _main
+
+        path = str(tmp_path / "fig6.json")
+        _main(["export", path, "--paper", "figure6"], out=_io.StringIO())
+        out = _io.StringIO()
+        assert _main(["solve", path, "--trace"], out=out) == 0
+        assert "Round" in out.getvalue()
+
+    def test_export_synthetic_round_trips(self, tmp_path):
+        import io as _io
+        from repro.cli import main as _main
+
+        path = str(tmp_path / "synth.json")
+        assert _main(["export", path, "--seed", "5"], out=_io.StringIO()) == 0
+        out = _io.StringIO()
+        assert _main(["solve", path], out=out) == 0
+        assert "satisfaction" in out.getvalue()
+
+
+class TestLintCommand:
+    def test_clean_scenario(self, tmp_path):
+        import io as _io
+        from repro.cli import main as _main
+
+        path = str(tmp_path / "fig3.json")
+        _main(["export", path, "--paper", "figure3"], out=_io.StringIO())
+        out = _io.StringIO()
+        assert _main(["lint", path], out=out) == 0
+        assert "clean" in out.getvalue()
+
+    def test_scenario_with_warnings_still_passes(self, tmp_path):
+        import io as _io
+        from repro.cli import main as _main
+
+        path = str(tmp_path / "fig6.json")
+        _main(["export", path, "--paper", "figure6"], out=_io.StringIO())
+        out = _io.StringIO()
+        # Figure 6 has dead-end services -> warnings, but no errors.
+        assert _main(["lint", path], out=out) == 0
+        assert "[warning]" in out.getvalue()

@@ -1,0 +1,128 @@
+"""Unit tests for Configuration (values, dominance, bandwidth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import AUDIO_QUALITY, COLOR_DEPTH, FRAME_RATE, RESOLUTION
+from repro.errors import UnknownParameterError, ValidationError
+from repro.formats.format import MediaFormat, MediaType
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Configuration({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Configuration({FRAME_RATE: -1.0})
+
+    def test_values_coerced_to_float(self):
+        config = Configuration({FRAME_RATE: 30})
+        assert isinstance(config[FRAME_RATE], float)
+
+
+class TestMappingProtocol:
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(UnknownParameterError):
+            Configuration({FRAME_RATE: 1.0})["missing"]
+
+    def test_len_iter_contains(self):
+        config = Configuration({FRAME_RATE: 1.0, RESOLUTION: 2.0})
+        assert len(config) == 2
+        assert set(config) == {FRAME_RATE, RESOLUTION}
+        assert FRAME_RATE in config
+
+    def test_equality_with_configuration_and_mapping(self):
+        a = Configuration({FRAME_RATE: 1.0})
+        b = Configuration({FRAME_RATE: 1.0})
+        assert a == b
+        assert a == {FRAME_RATE: 1.0}
+        assert a != Configuration({FRAME_RATE: 2.0})
+
+    def test_hashable(self):
+        a = Configuration({FRAME_RATE: 1.0})
+        b = Configuration({FRAME_RATE: 1.0})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_as_dict_is_a_copy(self):
+        config = Configuration({FRAME_RATE: 1.0})
+        mutable = config.as_dict()
+        mutable[FRAME_RATE] = 99.0
+        assert config[FRAME_RATE] == 1.0
+
+    def test_get_value_default(self):
+        config = Configuration({FRAME_RATE: 1.0})
+        assert config.get_value("missing") is None
+        assert config.get_value("missing", 7.0) == 7.0
+
+
+class TestQualityOrdering:
+    def test_dominates_componentwise(self):
+        high = Configuration({FRAME_RATE: 30.0, RESOLUTION: 100.0})
+        low = Configuration({FRAME_RATE: 20.0, RESOLUTION: 100.0})
+        assert high.dominates(low)
+        assert not low.dominates(high)
+
+    def test_dominates_ignores_disjoint_parameters(self):
+        a = Configuration({FRAME_RATE: 30.0})
+        b = Configuration({RESOLUTION: 100.0})
+        assert a.dominates(b)
+        assert b.dominates(a)
+
+    def test_capped_by_reduces(self):
+        config = Configuration({FRAME_RATE: 30.0, RESOLUTION: 100.0})
+        capped = config.capped_by({FRAME_RATE: 10.0})
+        assert capped[FRAME_RATE] == 10.0
+        assert capped[RESOLUTION] == 100.0
+
+    def test_capped_by_never_raises_values(self):
+        config = Configuration({FRAME_RATE: 5.0})
+        capped = config.capped_by({FRAME_RATE: 50.0})
+        assert capped[FRAME_RATE] == 5.0
+
+    def test_capped_result_is_dominated(self):
+        config = Configuration({FRAME_RATE: 30.0, RESOLUTION: 100.0})
+        capped = config.capped_by({FRAME_RATE: 1.0, RESOLUTION: 2.0})
+        assert config.dominates(capped)
+
+    def test_with_value_replaces_without_mutation(self):
+        config = Configuration({FRAME_RATE: 30.0})
+        other = config.with_value(FRAME_RATE, 10.0)
+        assert config[FRAME_RATE] == 30.0
+        assert other[FRAME_RATE] == 10.0
+
+
+class TestBandwidth:
+    def _fmt(self, ratio=10.0):
+        return MediaFormat(name="f", compression_ratio=ratio)
+
+    def test_required_bandwidth_formula(self):
+        config = Configuration(
+            {FRAME_RATE: 10.0, RESOLUTION: 1000.0, COLOR_DEPTH: 24.0}
+        )
+        assert config.required_bandwidth(self._fmt()) == pytest.approx(
+            10.0 * 1000.0 * 24.0 / 10.0
+        )
+
+    def test_missing_parameters_default_to_zero(self):
+        config = Configuration({AUDIO_QUALITY: 64.0})
+        assert config.required_bandwidth(self._fmt()) == pytest.approx(64_000.0)
+
+    def test_fits_bandwidth_boundary(self):
+        config = Configuration(
+            {FRAME_RATE: 10.0, RESOLUTION: 1000.0, COLOR_DEPTH: 24.0}
+        )
+        needed = config.required_bandwidth(self._fmt())
+        assert config.fits_bandwidth(self._fmt(), needed)
+        assert not config.fits_bandwidth(self._fmt(), needed * 0.99)
+
+    def test_monotone_in_each_parameter(self):
+        base = Configuration({FRAME_RATE: 10.0, RESOLUTION: 1000.0, COLOR_DEPTH: 24.0})
+        fmt = self._fmt()
+        for name in base:
+            raised = base.with_value(name, base[name] * 2)
+            assert raised.required_bandwidth(fmt) >= base.required_bandwidth(fmt)

@@ -1,0 +1,190 @@
+"""Tests for the end-to-end delay bound (Section 3's 'maximum delay').
+
+A delay-sensitive user (videoconferencing, live sports) bounds the
+accumulated propagation delay of the chain; selection must trade
+satisfaction for latency when the bound bites.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.graph import AdaptationGraphBuilder
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import (
+    CombinedSatisfaction,
+    HarmonicCombiner,
+    LinearSatisfaction,
+)
+from repro.core.selection import QoSPathSelector
+from repro.errors import ValidationError
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.network.placement import ServicePlacement
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import UserProfile
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor
+from repro.workloads.paper import figure6_scenario
+
+
+def delay_world():
+    """Two routes: T_slow (good quality, 200 ms) vs T_fast (poor, 20 ms).
+
+    Formats differentiate quality (frame size -> fps ceiling on equal
+    links, as in the Figure 6 reconstruction); node distances
+    differentiate delay.
+    """
+    raw_bits = 1000.0 * 24.0
+    wide = 100.0 * raw_bits / 10.0
+    registry = FormatRegistry()
+    registry.define("F0", compression_ratio=10.0)
+    registry.define("Fgood", compression_ratio=raw_bits / (wide / 28.0))
+    registry.define("Ffast", compression_ratio=raw_bits / (wide / 12.0))
+    topology = NetworkTopology()
+    for node in ("ns", "nslow", "nfast", "nr"):
+        topology.node(node)
+    topology.link("ns", "nslow", wide, delay_ms=100.0)
+    topology.link("nslow", "nr", wide, delay_ms=100.0)
+    topology.link("ns", "nfast", wide, delay_ms=10.0)
+    topology.link("nfast", "nr", wide, delay_ms=10.0)
+    catalog = ServiceCatalog(
+        [
+            ServiceDescriptor(
+                service_id="T_slow",
+                input_formats=("F0",),
+                output_formats=("Fgood",),
+            ),
+            ServiceDescriptor(
+                service_id="T_fast",
+                input_formats=("F0",),
+                output_formats=("Ffast",),
+            ),
+        ]
+    )
+    placement = ServicePlacement(topology, {"T_slow": "nslow", "T_fast": "nfast"})
+    content = ContentProfile(
+        "c",
+        [
+            ContentVariant(
+                format=registry.get("F0"),
+                configuration=Configuration(
+                    {FRAME_RATE: 30.0, RESOLUTION: 1000.0, COLOR_DEPTH: 24.0}
+                ),
+            )
+        ],
+    )
+    device = DeviceProfile("d", decoders=["Fgood", "Ffast"])
+    graph = AdaptationGraphBuilder(catalog, placement).build(
+        content, device, "ns", "nr"
+    )
+    parameters = ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([1000.0])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([24.0])),
+        ]
+    )
+    satisfaction = CombinedSatisfaction(
+        {FRAME_RATE: LinearSatisfaction(0.0, 30.0)}, HarmonicCombiner()
+    )
+    return registry, graph, parameters, satisfaction
+
+
+class TestDelayBound:
+    def test_unbounded_user_takes_the_good_slow_route(self):
+        registry, graph, parameters, satisfaction = delay_world()
+        result = QoSPathSelector(graph, registry, parameters, satisfaction).run()
+        assert "T_slow" in result.path
+        assert result.accumulated_delay_ms == pytest.approx(200.0)
+        assert result.satisfaction == pytest.approx(28.0 / 30.0)
+
+    def test_tight_bound_reroutes_to_the_fast_route(self):
+        registry, graph, parameters, satisfaction = delay_world()
+        result = QoSPathSelector(
+            graph, registry, parameters, satisfaction, max_delay_ms=50.0
+        ).run()
+        assert result.success
+        assert "T_fast" in result.path
+        assert result.accumulated_delay_ms == pytest.approx(20.0)
+        assert result.satisfaction == pytest.approx(12.0 / 30.0)
+
+    def test_impossible_bound_fails(self):
+        registry, graph, parameters, satisfaction = delay_world()
+        result = QoSPathSelector(
+            graph, registry, parameters, satisfaction, max_delay_ms=5.0
+        ).run()
+        assert not result.success
+
+    def test_bound_exactly_at_route_delay_admits_it(self):
+        registry, graph, parameters, satisfaction = delay_world()
+        result = QoSPathSelector(
+            graph, registry, parameters, satisfaction, max_delay_ms=200.0
+        ).run()
+        assert "T_slow" in result.path
+
+    def test_user_profile_carries_the_bound(self):
+        registry, graph, parameters, _ = delay_world()
+        user = UserProfile(
+            "gamer",
+            {FRAME_RATE: LinearSatisfaction(0, 30)},
+            max_delay_ms=50.0,
+        )
+        result = QoSPathSelector.for_user(graph, registry, parameters, user).run()
+        assert "T_fast" in result.path
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValidationError):
+            UserProfile(
+                "u",
+                {FRAME_RATE: LinearSatisfaction(0, 30)},
+                max_delay_ms=0.0,
+            )
+
+
+class TestDelayOnFigure6:
+    def test_figure6_edges_carry_delay(self, fig6):
+        graph = fig6.build_graph()
+        edge = next(e for e in graph.out_edges("sender") if e.target == "T7")
+        assert edge.delay_ms == pytest.approx(5.0)  # first-tier link delay
+
+    def test_figure6_result_reports_delay(self, fig6):
+        result = fig6.select(record_trace=False)
+        # ns--n7 (5 ms) + n7--nr (10 ms).
+        assert result.accumulated_delay_ms == pytest.approx(15.0)
+
+    def test_delay_bound_changes_nothing_when_loose(self):
+        scenario = figure6_scenario()
+        graph = scenario.build_graph()
+        bounded = QoSPathSelector(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            scenario.user.satisfaction(),
+            max_delay_ms=1000.0,
+        ).run()
+        assert bounded.path == ("sender", "T7", "receiver")
+
+    def test_delay_serialization_round_trip(self):
+        import json
+
+        from repro.profiles.serialization import profile_from_dict, profile_to_dict
+
+        user = UserProfile(
+            "u", {FRAME_RATE: LinearSatisfaction(0, 30)}, max_delay_ms=123.0
+        )
+        data = json.loads(json.dumps(profile_to_dict(user)))
+        assert profile_from_dict(data).max_delay_ms == 123.0

@@ -1,0 +1,141 @@
+"""Dedicated tests for the optimizer's discrete-exchange phase (phase 4).
+
+The proportional quality ray can park below a large discrete step; the
+exchange phase trades continuous headroom for higher discrete values when
+the combined satisfaction profits.  These tests pin the behaviour with
+hand-computed optima.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.optimizer import ConfigurationOptimizer, OptimizationConstraints
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import (
+    CombinedSatisfaction,
+    HarmonicCombiner,
+    LinearSatisfaction,
+)
+from repro.formats.format import MediaFormat
+
+FMT = MediaFormat(name="xchg", compression_ratio=10.0)
+
+
+def two_preference_optimizer():
+    parameters = ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([100.0, 500.0, 1000.0])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([8.0])),
+        ]
+    )
+    satisfaction = CombinedSatisfaction(
+        {
+            FRAME_RATE: LinearSatisfaction(0.0, 30.0),
+            RESOLUTION: LinearSatisfaction(0.0, 1000.0),
+        },
+        HarmonicCombiner(),
+    )
+    return ConfigurationOptimizer(parameters, satisfaction)
+
+
+def constraints(bandwidth):
+    return OptimizationConstraints(
+        upstream=Configuration(
+            {FRAME_RATE: 30.0, RESOLUTION: 1000.0, COLOR_DEPTH: 8.0}
+        ),
+        caps={},
+        fmt=FMT,
+        bandwidth_bps=bandwidth,
+    )
+
+
+class TestDiscreteExchange:
+    def test_steps_up_to_full_resolution(self):
+        """The seed-14 regression, distilled.
+
+        Bandwidth 20125 bps; frame bits at depth 8 / res R: 0.8*R.  The
+        proportional ray parks at (fps~30, res 500) -> harmonic(1.0, 0.5)
+        = 0.667.  The exchange finds (fps 25.16, res 1000) -> 0.912.
+        """
+        optimizer = two_preference_optimizer()
+        choice = optimizer.optimize(constraints(20_124.88))
+        assert choice.configuration[RESOLUTION] == 1000.0
+        assert choice.configuration[FRAME_RATE] == pytest.approx(25.156, abs=0.01)
+        assert choice.satisfaction == pytest.approx(0.912, abs=0.002)
+
+    def test_no_exchange_when_ray_already_optimal(self):
+        """With generous bandwidth the upper corner already wins and the
+        exchange changes nothing."""
+        optimizer = two_preference_optimizer()
+        choice = optimizer.optimize(constraints(1e9))
+        assert choice.configuration[FRAME_RATE] == 30.0
+        assert choice.configuration[RESOLUTION] == 1000.0
+        assert choice.satisfaction == pytest.approx(1.0)
+
+    def test_exchange_never_violates_bandwidth(self):
+        optimizer = two_preference_optimizer()
+        for bandwidth in (5_000.0, 10_000.0, 20_000.0, 50_000.0):
+            choice = optimizer.optimize(constraints(bandwidth))
+            assert choice.required_bandwidth_bps <= bandwidth * (1 + 1e-9)
+
+    def test_exchange_is_monotone_in_bandwidth(self):
+        optimizer = two_preference_optimizer()
+        scores = [
+            optimizer.optimize(constraints(b)).satisfaction
+            for b in (2_000.0, 8_000.0, 16_000.0, 24_000.0, 48_000.0)
+        ]
+        assert scores == sorted(scores)
+
+    def test_exchange_beats_or_matches_dense_grid(self):
+        """The exchange-equipped analytic optimizer must never lose to a
+        41-point grid on this family."""
+        from repro.core.gridsearch import GridSearchOptimizer
+
+        parameters = ParameterSet(
+            [
+                Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+                Parameter(
+                    RESOLUTION, "pixels", DiscreteDomain([100.0, 500.0, 1000.0])
+                ),
+                Parameter(COLOR_DEPTH, "bits", DiscreteDomain([8.0])),
+            ]
+        )
+        satisfaction = CombinedSatisfaction(
+            {
+                FRAME_RATE: LinearSatisfaction(0.0, 30.0),
+                RESOLUTION: LinearSatisfaction(0.0, 1000.0),
+            },
+            HarmonicCombiner(),
+        )
+        analytic = ConfigurationOptimizer(parameters, satisfaction)
+        grid = GridSearchOptimizer(parameters, satisfaction, grid_points=41)
+        for bandwidth in (4_000.0, 9_000.0, 15_000.0, 20_125.0, 33_000.0):
+            a = analytic.optimize(constraints(bandwidth))
+            g = grid.optimize(constraints(bandwidth))
+            assert a.satisfaction >= g.satisfaction - 1e-9, bandwidth
+
+    def test_exchange_respects_caps(self):
+        """A service cap on the discrete parameter blocks the exchange."""
+        optimizer = two_preference_optimizer()
+        choice = optimizer.optimize(
+            OptimizationConstraints(
+                upstream=Configuration(
+                    {FRAME_RATE: 30.0, RESOLUTION: 1000.0, COLOR_DEPTH: 8.0}
+                ),
+                caps={RESOLUTION: 500.0},
+                fmt=FMT,
+                bandwidth_bps=20_125.0,
+            )
+        )
+        assert choice.configuration[RESOLUTION] <= 500.0

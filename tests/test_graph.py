@@ -1,0 +1,292 @@
+"""Unit tests for adaptation-graph construction (Section 4.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.graph import AdaptationGraph, AdaptationGraphBuilder, Edge, Vertex
+from repro.core.parameters import FRAME_RATE
+from repro.errors import GraphConstructionError, UnknownServiceError
+from repro.formats.format import MediaFormat
+from repro.formats.variants import ContentVariant
+from repro.network.placement import ServicePlacement
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.device import DeviceProfile
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor
+
+
+def simple_world(
+    check_resources: bool = True,
+    heavy_service: bool = False,
+    context_caps=None,
+):
+    """sender --F0--> T1 --F1--> receiver, plus a dead-end T2."""
+    topology = NetworkTopology()
+    topology.node("ns")
+    topology.node("n1", memory_mb=32.0 if heavy_service else 1024.0)
+    topology.node("n2")
+    topology.node("nr")
+    topology.link("ns", "n1", 5e6)
+    topology.link("ns", "n2", 1e6)
+    topology.link("n1", "nr", 3e6)
+
+    catalog = ServiceCatalog(
+        [
+            ServiceDescriptor(
+                service_id="T1",
+                input_formats=("F0",),
+                output_formats=("F1",),
+                memory_mb=64.0,
+                cost=1.0,
+            ),
+            ServiceDescriptor(
+                service_id="T2",
+                input_formats=("F0",),
+                output_formats=("F9",),  # nobody consumes F9
+                cost=1.0,
+            ),
+        ]
+    )
+    placement = ServicePlacement(topology, {"T1": "n1", "T2": "n2"})
+    content = ContentProfile(
+        content_id="c",
+        variants=[
+            ContentVariant(
+                format=MediaFormat(name="F0", compression_ratio=10.0),
+                configuration=Configuration({FRAME_RATE: 30.0}),
+            )
+        ],
+    )
+    device = DeviceProfile(device_id="d", decoders=["F1"], max_frame_rate=25.0)
+    builder = AdaptationGraphBuilder(catalog, placement, check_resources=check_resources)
+    graph = builder.build(
+        content=content,
+        device=device,
+        sender_node="ns",
+        receiver_node="nr",
+        context_caps=context_caps,
+    )
+    return graph
+
+
+class TestConstruction:
+    def test_endpoint_vertices_exist(self):
+        graph = simple_world()
+        assert graph.sender.is_sender
+        assert graph.receiver.is_receiver
+        assert graph.sender_id == "sender"
+        assert graph.receiver_id == "receiver"
+
+    def test_sender_carries_variant_configurations(self):
+        graph = simple_world()
+        assert "F0" in graph.sender.source_configurations
+        assert graph.sender.source_configurations["F0"][FRAME_RATE] == 30.0
+
+    def test_edges_follow_format_matches(self):
+        graph = simple_world()
+        edge_views = {(e.source, e.target, e.format_name) for e in graph.edges()}
+        assert ("sender", "T1", "F0") in edge_views
+        assert ("sender", "T2", "F0") in edge_views
+        assert ("T1", "receiver", "F1") in edge_views
+        # T2's F9 output matches nobody.
+        assert not any(e.format_name == "F9" for e in graph.edges())
+
+    def test_edge_bandwidth_from_topology(self):
+        graph = simple_world()
+        edge = next(e for e in graph.edges() if e.target == "T1")
+        assert edge.bandwidth_bps == 5e6
+
+    def test_receiver_caps_include_device_limits(self):
+        graph = simple_world()
+        assert graph.receiver.service.output_caps[FRAME_RATE] == 25.0
+
+    def test_context_caps_tighten_receiver(self):
+        graph = simple_world(context_caps={FRAME_RATE: 10.0})
+        assert graph.receiver.service.output_caps[FRAME_RATE] == 10.0
+
+    def test_context_caps_cannot_loosen(self):
+        graph = simple_world(context_caps={FRAME_RATE: 99.0})
+        assert graph.receiver.service.output_caps[FRAME_RATE] == 25.0
+
+    def test_resource_check_excludes_oversized_services(self):
+        graph = simple_world(heavy_service=True)  # n1 has 32 MB, T1 needs 64
+        assert "T1" not in graph
+        graph = simple_world(heavy_service=True, check_resources=False)
+        assert "T1" in graph
+
+    def test_unknown_endpoint_node_rejected(self):
+        topology = NetworkTopology()
+        topology.node("ns")
+        catalog = ServiceCatalog()
+        placement = ServicePlacement(topology)
+        builder = AdaptationGraphBuilder(catalog, placement)
+        content = ContentProfile(
+            content_id="c",
+            variants=[
+                ContentVariant(
+                    format=MediaFormat(name="F0"),
+                    configuration=Configuration({FRAME_RATE: 1.0}),
+                )
+            ],
+        )
+        device = DeviceProfile(device_id="d", decoders=["F0"])
+        with pytest.raises(GraphConstructionError):
+            builder.build(content, device, "ns", "ghost")
+
+    def test_co_located_services_get_unlimited_bandwidth(self):
+        topology = NetworkTopology()
+        topology.node("ns")
+        topology.node("shared")
+        topology.node("nr")
+        topology.link("ns", "shared", 1e6)
+        topology.link("shared", "nr", 1e6)
+        catalog = ServiceCatalog(
+            [
+                ServiceDescriptor(
+                    service_id="A", input_formats=("F0",), output_formats=("F1",)
+                ),
+                ServiceDescriptor(
+                    service_id="B", input_formats=("F1",), output_formats=("F2",)
+                ),
+            ]
+        )
+        placement = ServicePlacement(topology, {"A": "shared", "B": "shared"})
+        content = ContentProfile(
+            content_id="c",
+            variants=[
+                ContentVariant(
+                    format=MediaFormat(name="F0"),
+                    configuration=Configuration({FRAME_RATE: 1.0}),
+                )
+            ],
+        )
+        device = DeviceProfile(device_id="d", decoders=["F2"])
+        graph = AdaptationGraphBuilder(catalog, placement).build(
+            content, device, "ns", "nr"
+        )
+        edge = next(e for e in graph.edges() if (e.source, e.target) == ("A", "B"))
+        assert math.isinf(edge.bandwidth_bps)
+
+
+class TestGraphQueries:
+    def test_vertex_lookup(self):
+        graph = simple_world()
+        assert graph.vertex("T1").service_id == "T1"
+        with pytest.raises(UnknownServiceError):
+            graph.vertex("nope")
+
+    def test_vertices_in_natural_order(self):
+        graph = simple_world()
+        ids = graph.vertex_ids()
+        assert ids.index("T1") < ids.index("T2")
+
+    def test_out_edges_sorted(self):
+        graph = simple_world()
+        targets = [e.target for e in graph.out_edges("sender")]
+        assert targets == sorted(targets, key=lambda t: int(t[1:]))
+
+    def test_in_edges(self):
+        graph = simple_world()
+        sources = [e.source for e in graph.in_edges("receiver")]
+        assert sources == ["T1"]
+
+    def test_successors_deduplicated(self):
+        graph = simple_world()
+        assert graph.successors("sender") == ["T1", "T2"]
+
+    def test_reachability_sets(self):
+        graph = simple_world()
+        assert "T2" in graph.reachable_from_sender()
+        assert "T2" not in graph.co_reachable_to_receiver()
+        assert "T1" in graph.co_reachable_to_receiver()
+
+    def test_len_and_contains(self):
+        graph = simple_world()
+        assert len(graph) == 4
+        assert "T1" in graph and "zzz" not in graph
+
+
+class TestPathEnumeration:
+    def test_simple_world_has_one_path(self):
+        graph = simple_world()
+        paths = list(graph.enumerate_paths())
+        assert len(paths) == 1
+        assert [e.target for e in paths[0]] == ["T1", "receiver"]
+
+    def test_figure3_paths_all_distinct_format(self, fig3):
+        graph = fig3.build_graph()
+        for path in graph.enumerate_paths():
+            formats = [e.format_name for e in path]
+            assert len(formats) == len(set(formats))
+            services = [e.target for e in path]
+            assert len(services) == len(set(services))
+
+    def test_max_paths_bounds_enumeration(self, fig3):
+        graph = fig3.build_graph()
+        total = len(list(graph.enumerate_paths()))
+        assert total > 2
+        bounded = len(list(graph.enumerate_paths(max_paths=2)))
+        assert bounded == 2
+
+    def test_max_hops_bounds_depth(self, fig3):
+        graph = fig3.build_graph()
+        for path in graph.enumerate_paths(max_hops=3):
+            assert len(path) <= 3
+
+    def test_duplicate_vertex_rejected(self):
+        vertex = Vertex(
+            service=ServiceDescriptor(
+                service_id="X", input_formats=("a",), output_formats=("b",)
+            ),
+            node_id="n",
+        )
+        sender = Vertex(
+            service=ContentProfile(
+                "c",
+                [
+                    ContentVariant(
+                        format=MediaFormat(name="a"),
+                        configuration=Configuration({FRAME_RATE: 1.0}),
+                    )
+                ],
+            ).sender_descriptor(),
+            node_id="n",
+        )
+        receiver = Vertex(
+            service=DeviceProfile("d", ["b"]).receiver_descriptor(),
+            node_id="n",
+        )
+        with pytest.raises(GraphConstructionError):
+            AdaptationGraph(
+                [sender, receiver, vertex, vertex], [], "sender", "receiver"
+            )
+
+    def test_missing_endpoint_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            AdaptationGraph([], [], "sender", "receiver")
+
+    def test_edge_to_unknown_vertex_rejected(self):
+        sender = Vertex(
+            service=ContentProfile(
+                "c",
+                [
+                    ContentVariant(
+                        format=MediaFormat(name="a"),
+                        configuration=Configuration({FRAME_RATE: 1.0}),
+                    )
+                ],
+            ).sender_descriptor(),
+            node_id="n",
+        )
+        receiver = Vertex(
+            service=DeviceProfile("d", ["b"]).receiver_descriptor(),
+            node_id="n",
+        )
+        bad_edge = Edge("sender", "ghost", "a", 1e6)
+        with pytest.raises(GraphConstructionError):
+            AdaptationGraph([sender, receiver], [bad_edge], "sender", "receiver")

@@ -1,0 +1,171 @@
+"""Tests for the grid-search reference optimizer, incl. cross-validation
+against the analytic three-phase optimizer."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.gridsearch import GridSearchOptimizer
+from repro.core.optimizer import ConfigurationOptimizer, OptimizationConstraints
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import (
+    CombinedSatisfaction,
+    HarmonicCombiner,
+    LinearSatisfaction,
+)
+from repro.errors import ValidationError
+from repro.formats.format import MediaFormat
+
+FMT = MediaFormat(name="grid-fmt", compression_ratio=10.0)
+
+
+def parameters() -> ParameterSet:
+    return ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([100.0, 500.0, 1000.0])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([8.0, 16.0, 24.0])),
+        ]
+    )
+
+
+def satisfaction(two_params: bool = False) -> CombinedSatisfaction:
+    functions = {FRAME_RATE: LinearSatisfaction(0.0, 30.0)}
+    if two_params:
+        functions[RESOLUTION] = LinearSatisfaction(0.0, 1000.0)
+    return CombinedSatisfaction(functions, HarmonicCombiner())
+
+
+def constraints(upstream, caps=None, bandwidth=math.inf) -> OptimizationConstraints:
+    return OptimizationConstraints(
+        upstream=Configuration(upstream),
+        caps=caps or {},
+        fmt=FMT,
+        bandwidth_bps=bandwidth,
+    )
+
+
+FULL = {FRAME_RATE: 30.0, RESOLUTION: 1000.0, COLOR_DEPTH: 24.0}
+
+
+class TestGridBasics:
+    def test_unconstrained_matches_analytic(self):
+        grid = GridSearchOptimizer(parameters(), satisfaction())
+        analytic = ConfigurationOptimizer(parameters(), satisfaction())
+        c = constraints(FULL)
+        assert grid.optimize(c).configuration == analytic.optimize(c).configuration
+
+    def test_single_parameter_fit_recovered_exactly(self):
+        pinned = ParameterSet(
+            [
+                Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+                Parameter(RESOLUTION, "pixels", DiscreteDomain([1000.0])),
+                Parameter(COLOR_DEPTH, "bits", DiscreteDomain([24.0])),
+            ]
+        )
+        grid = GridSearchOptimizer(pinned, satisfaction())
+        # 19.75 fps * 1000 px * 24 bits / 10 = 47_400 bps.
+        choice = grid.optimize(constraints(FULL, bandwidth=47_400.0))
+        assert choice.configuration[FRAME_RATE] == pytest.approx(19.75)
+
+    def test_respects_bandwidth(self):
+        grid = GridSearchOptimizer(parameters(), satisfaction(two_params=True))
+        bandwidth = 20_000.0
+        choice = grid.optimize(constraints(FULL, bandwidth=bandwidth))
+        assert choice is not None
+        assert choice.required_bandwidth_bps <= bandwidth * (1 + 1e-9)
+
+    def test_respects_caps(self):
+        grid = GridSearchOptimizer(parameters(), satisfaction())
+        choice = grid.optimize(constraints(FULL, caps={FRAME_RATE: 12.0}))
+        assert choice.configuration[FRAME_RATE] <= 12.0
+
+    def test_infeasible_region_is_none(self):
+        grid = GridSearchOptimizer(parameters(), satisfaction())
+        assert (
+            grid.optimize(constraints(FULL, caps={RESOLUTION: 50.0})) is None
+        )
+
+    def test_grid_points_validated(self):
+        with pytest.raises(ValidationError):
+            GridSearchOptimizer(parameters(), satisfaction(), grid_points=1)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_analytic_matches_grid_single_preference(self, seed):
+        """With one preference parameter the analytic optimizer is exact,
+        so it must never lose to the grid (and may beat coarse grids)."""
+        rng = random.Random(seed)
+        analytic = ConfigurationOptimizer(parameters(), satisfaction())
+        grid = GridSearchOptimizer(parameters(), satisfaction(), grid_points=25)
+        c = constraints(
+            {
+                FRAME_RATE: rng.uniform(5.0, 60.0),
+                RESOLUTION: rng.choice([100.0, 500.0, 1000.0]),
+                COLOR_DEPTH: rng.choice([8.0, 16.0, 24.0]),
+            },
+            caps={FRAME_RATE: rng.uniform(10.0, 40.0)} if rng.random() < 0.5 else None,
+            bandwidth=rng.uniform(5_000.0, 200_000.0),
+        )
+        a = analytic.optimize(c)
+        g = grid.optimize(c)
+        assert (a is None) == (g is None)
+        if a is not None:
+            assert a.satisfaction >= g.satisfaction - 1e-9
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_analytic_close_to_grid_two_preferences(self, seed):
+        """With two preference parameters the ray+polish heuristic must
+        stay within a small margin of the dense grid optimum."""
+        rng = random.Random(100 + seed)
+        analytic = ConfigurationOptimizer(parameters(), satisfaction(True))
+        grid = GridSearchOptimizer(parameters(), satisfaction(True), grid_points=41)
+        c = constraints(
+            FULL,
+            bandwidth=rng.uniform(5_000.0, 500_000.0),
+        )
+        a = analytic.optimize(c)
+        g = grid.optimize(c)
+        assert a is not None and g is not None
+        assert a.satisfaction >= g.satisfaction - 0.05
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bandwidth=st.floats(min_value=1_000.0, max_value=1e6, allow_nan=False),
+    fps=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    cap=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+)
+def test_property_both_optimizers_feasible_and_bounded(bandwidth, fps, cap):
+    """Whatever the constraints, both optimizers return configurations
+    inside the feasible region (or None consistently)."""
+    c = constraints(
+        {FRAME_RATE: fps, RESOLUTION: 1000.0, COLOR_DEPTH: 24.0},
+        caps={FRAME_RATE: cap},
+        bandwidth=bandwidth,
+    )
+    for optimizer in (
+        ConfigurationOptimizer(parameters(), satisfaction()),
+        GridSearchOptimizer(parameters(), satisfaction()),
+    ):
+        choice = optimizer.optimize(c)
+        if choice is None:
+            continue
+        config = choice.configuration
+        assert config[FRAME_RATE] <= min(fps, cap) + 1e-9
+        assert config.required_bandwidth(FMT) <= bandwidth * (1 + 1e-6)
+        assert 0.0 <= choice.satisfaction <= 1.0

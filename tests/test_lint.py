@@ -1,0 +1,151 @@
+"""Tests for the scenario linter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import FRAME_RATE
+from repro.formats.format import MediaFormat
+from repro.formats.variants import ContentVariant
+from repro.profiles.content import ContentProfile
+from repro.profiles.device import DeviceProfile
+from repro.services.descriptor import ServiceDescriptor
+from repro.workloads.intro import jpeg_to_gif_scenario
+from repro.workloads.lint import Severity, lint_scenario
+from repro.workloads.paper import figure3_scenario, figure6_scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+
+def errors(findings):
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def warnings(findings):
+    return [f for f in findings if f.severity is Severity.WARNING]
+
+
+class TestCleanScenarios:
+    @pytest.mark.parametrize(
+        "builder",
+        [figure6_scenario, figure3_scenario, jpeg_to_gif_scenario],
+        ids=["figure6", "figure3", "jpeg"],
+    )
+    def test_paper_scenarios_have_no_errors(self, builder):
+        findings = lint_scenario(builder())
+        assert errors(findings) == []
+
+    def test_figure6_warnings_name_the_dead_ends(self):
+        findings = lint_scenario(figure6_scenario())
+        subjects = {f.subject for f in warnings(findings)}
+        # T9 and T15 produce formats nobody consumes — genuine warnings.
+        assert "T9" in subjects
+        assert "T15" in subjects
+
+    def test_synthetic_scenarios_have_no_errors(self):
+        for seed in range(3):
+            scenario = generate_scenario(SyntheticConfig(seed=seed))
+            assert errors(lint_scenario(scenario)) == []
+
+
+class TestBrokenScenarios:
+    def _broken(self, mutate):
+        scenario = jpeg_to_gif_scenario()
+        mutate(scenario)
+        return lint_scenario(scenario)
+
+    def test_unregistered_service_format(self):
+        def mutate(scenario):
+            scenario.catalog.add(
+                ServiceDescriptor(
+                    service_id="ghost",
+                    input_formats=("no-such-format",),
+                    output_formats=("gif-2c",),
+                )
+            )
+            scenario.placement.place("ghost", "proxy")
+
+        findings = self._broken(mutate)
+        assert any(
+            f.subject == "ghost" and "unregistered" in f.message
+            for f in errors(findings)
+        )
+
+    def test_unplaced_service_warns(self):
+        def mutate(scenario):
+            scenario.catalog.add(
+                ServiceDescriptor(
+                    service_id="floating",
+                    input_formats=("jpeg-256c",),
+                    output_formats=("gif-2c",),
+                )
+            )
+
+        findings = self._broken(mutate)
+        assert any(
+            f.subject == "floating" and "unplaced" in f.message
+            for f in warnings(findings)
+        )
+
+    def test_placement_on_unknown_node(self):
+        def mutate(scenario):
+            scenario.placement._node_of["color-reduce"] = "atlantis"
+
+        findings = self._broken(mutate)
+        assert any("atlantis" in f.message for f in errors(findings))
+
+    def test_unknown_endpoint_node(self):
+        def mutate(scenario):
+            scenario.sender_node = "nowhere"
+
+        findings = self._broken(mutate)
+        assert any(f.subject == "sender_node" for f in errors(findings))
+
+    def test_unknown_preference_parameter(self):
+        def mutate(scenario):
+            from repro.core.satisfaction import LinearSatisfaction
+            from repro.profiles.user import UserProfile
+
+            scenario.user = UserProfile(
+                user_id="confused",
+                satisfaction_functions={"smellovision": LinearSatisfaction(0, 1)},
+            )
+
+        findings = self._broken(mutate)
+        assert any("smellovision" in f.message for f in errors(findings))
+
+    def test_undecodable_device_warns(self):
+        def mutate(scenario):
+            scenario.registry.define("exotic")
+            scenario.device = DeviceProfile(
+                device_id="alien", decoders=["exotic"]
+            )
+
+        findings = self._broken(mutate)
+        assert any(
+            "selection will FAIL" in f.message for f in warnings(findings)
+        )
+
+    def test_configuration_with_unknown_parameter(self):
+        def mutate(scenario):
+            fmt = scenario.registry.get("jpeg-256c")
+            scenario.content = ContentProfile(
+                content_id="weird",
+                variants=[
+                    ContentVariant(
+                        format=fmt,
+                        configuration=Configuration({"sharpness": 5.0}),
+                    )
+                ],
+            )
+
+        findings = self._broken(mutate)
+        assert any("sharpness" in f.message for f in errors(findings))
+
+    def test_finding_renders_readably(self):
+        findings = self._broken(
+            lambda scenario: setattr(scenario, "sender_node", "nowhere")
+        )
+        text = str(errors(findings)[0])
+        assert text.startswith("[error]")
+        assert "sender_node" in text

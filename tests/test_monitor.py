@@ -1,0 +1,139 @@
+"""Tests for the network monitor (measurement -> network profile)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.bandwidth import (
+    BandwidthEstimator,
+    ConstantBandwidth,
+    SinusoidalBandwidth,
+)
+from repro.network.generators import star_topology
+from repro.runtime.monitor import NetworkMonitor
+from repro.workloads.paper import figure6_scenario
+
+
+def make_monitor(model=None, smoothing=0.3, leaves=3):
+    topology = star_topology(leaves, bandwidth_bps=10e6)
+    estimator = BandwidthEstimator(topology, model)
+    return NetworkMonitor(estimator, smoothing=smoothing), topology
+
+
+class TestSampling:
+    def test_constant_network_measures_nominal(self):
+        monitor, topology = make_monitor(ConstantBandwidth())
+        monitor.sample(0.0)
+        for link in topology.links():
+            estimate = monitor.estimate_for(link.a, link.b)
+            assert estimate is not None
+            assert estimate.smoothed_bps == pytest.approx(link.bandwidth_bps)
+            assert estimate.samples == 1
+
+    def test_time_must_advance(self):
+        monitor, _ = make_monitor()
+        monitor.sample(5.0)
+        with pytest.raises(ValidationError):
+            monitor.sample(4.0)
+        monitor.sample(5.0)  # equal time is fine (re-measure)
+
+    def test_smoothing_dampens_dips(self):
+        model = SinusoidalBandwidth(amplitude=0.6, period_s=10.0)
+        smooth_monitor, topology = make_monitor(model, smoothing=0.1)
+        sharp_monitor, _ = make_monitor(model, smoothing=1.0)
+        link = topology.links()[0]
+        smooth_monitor.sample_window(0.0, 20.0, 0.5)
+        sharp_monitor.sample_window(0.0, 20.0, 0.5)
+        smooth = smooth_monitor.estimate_for(link.a, link.b)
+        sharp = sharp_monitor.estimate_for(link.a, link.b)
+        # The sharp monitor equals the last instantaneous sample...
+        assert sharp.smoothed_bps == pytest.approx(sharp.last_sample_bps)
+        # ...the smooth one has inertia (differs from the last sample
+        # whenever the wave is moving).
+        assert smooth.samples == sharp.samples
+        assert smooth.smoothed_bps != pytest.approx(sharp.smoothed_bps)
+
+    def test_sample_window_counts(self):
+        monitor, _ = make_monitor()
+        assert monitor.sample_window(0.0, 5.0, 1.0) == 6
+
+    def test_invalid_arguments(self):
+        estimator = BandwidthEstimator(star_topology(2))
+        with pytest.raises(ValidationError):
+            NetworkMonitor(estimator, smoothing=0.0)
+        monitor, _ = make_monitor()
+        with pytest.raises(ValidationError):
+            monitor.sample_window(0.0, 1.0, 0.0)
+
+
+class TestProfileSnapshot:
+    def test_unsampled_links_report_nominal(self):
+        monitor, topology = make_monitor()
+        profile = monitor.network_profile()
+        for link in topology.links():
+            assert profile.throughput(link.a, link.b) == link.bandwidth_bps
+
+    def test_profile_reflects_fluctuation(self):
+        model = SinusoidalBandwidth(amplitude=0.5, period_s=7.0)
+        monitor, topology = make_monitor(model, smoothing=1.0)
+        monitor.sample_window(0.0, 14.0, 0.5)
+        profile = monitor.network_profile()
+        nominal = topology.links()[0].bandwidth_bps
+        measured = [profile.throughput(l.a, l.b) for l in topology.links()]
+        assert all(m <= nominal for m in measured)
+
+    def test_measured_topology_is_plannable(self):
+        """The monitored profile feeds straight back into selection."""
+        from repro.core.graph import AdaptationGraphBuilder
+        from repro.core.selection import QoSPathSelector
+        from repro.network.placement import ServicePlacement
+
+        scenario = figure6_scenario()
+        estimator = BandwidthEstimator(scenario.topology, ConstantBandwidth())
+        monitor = NetworkMonitor(estimator, smoothing=1.0)
+        monitor.sample(0.0)
+        measured = monitor.measured_topology()
+        placement = ServicePlacement(measured, scenario.placement.as_dict())
+        graph = AdaptationGraphBuilder(scenario.catalog, placement).build(
+            scenario.content,
+            scenario.device,
+            scenario.sender_node,
+            scenario.receiver_node,
+        )
+        result = QoSPathSelector.for_user(
+            graph, scenario.registry, scenario.parameters, scenario.user
+        ).run()
+        # A constant network measured perfectly reproduces the paper plan.
+        assert result.path == ("sender", "T7", "receiver")
+        assert result.satisfaction == pytest.approx(19.75 / 30.0, abs=1e-6)
+
+    def test_degraded_measurement_changes_the_plan(self):
+        """Sampling during a collapse steers the plan away from the
+        degraded chain — the monitoring/replanning loop end to end."""
+        from repro.core.graph import AdaptationGraphBuilder
+        from repro.core.selection import QoSPathSelector
+        from repro.network.bandwidth import FluctuationModel
+        from repro.network.placement import ServicePlacement
+        from repro.network.topology import Link
+
+        class N7Collapse(FluctuationModel):
+            def factor(self, link: Link, time_s: float) -> float:
+                return 0.05 if "n7" in link.endpoints() else 1.0
+
+        scenario = figure6_scenario()
+        estimator = BandwidthEstimator(scenario.topology, N7Collapse())
+        monitor = NetworkMonitor(estimator, smoothing=1.0)
+        monitor.sample(0.0)
+        measured = monitor.measured_topology()
+        placement = ServicePlacement(measured, scenario.placement.as_dict())
+        graph = AdaptationGraphBuilder(scenario.catalog, placement).build(
+            scenario.content,
+            scenario.device,
+            scenario.sender_node,
+            scenario.receiver_node,
+        )
+        result = QoSPathSelector.for_user(
+            graph, scenario.registry, scenario.parameters, scenario.user
+        ).run()
+        assert result.path == ("sender", "T8", "receiver")

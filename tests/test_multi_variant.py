@@ -1,0 +1,175 @@
+"""Tests for senders with multiple stored content variants.
+
+Section 4.2: "Each output link of the sender vertex corresponds to one
+variant with a certain format."  The selector must weigh the variants
+against each other: a lower-quality variant can win when it unlocks a
+better chain or fits a narrower link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.graph import AdaptationGraphBuilder
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+)
+from repro.core.satisfaction import (
+    CombinedSatisfaction,
+    HarmonicCombiner,
+    LinearSatisfaction,
+)
+from repro.core.selection import QoSPathSelector
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.network.placement import ServicePlacement
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.device import DeviceProfile
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor
+
+RAW = 1000.0 * 24.0
+WIDE = 100.0 * RAW / 10.0
+
+
+def parameters():
+    return ParameterSet(
+        [
+            Parameter(FRAME_RATE, "fps", ContinuousDomain(0.0, 60.0)),
+            Parameter(RESOLUTION, "pixels", DiscreteDomain([1000.0])),
+            Parameter(COLOR_DEPTH, "bits", DiscreteDomain([24.0])),
+        ]
+    )
+
+
+def satisfaction():
+    return CombinedSatisfaction(
+        {FRAME_RATE: LinearSatisfaction(0.0, 30.0)}, HarmonicCombiner()
+    )
+
+
+def variant(registry, name, fps):
+    return ContentVariant(
+        format=registry.get(name),
+        configuration=Configuration(
+            {FRAME_RATE: fps, RESOLUTION: 1000.0, COLOR_DEPTH: 24.0}
+        ),
+    )
+
+
+class TestMultiVariantSender:
+    def test_best_decodable_variant_wins_directly(self):
+        """Device decodes both stored variants: the higher-quality one is
+        delivered without any transcoding at all."""
+        registry = FormatRegistry()
+        registry.define("hq", compression_ratio=10.0)
+        registry.define("sd", compression_ratio=10.0)
+        topology = NetworkTopology()
+        topology.node("ns")
+        topology.node("nr")
+        topology.link("ns", "nr", WIDE)
+        content = ContentProfile(
+            "c", [variant(registry, "hq", 30.0), variant(registry, "sd", 15.0)]
+        )
+        device = DeviceProfile("d", decoders=["hq", "sd"])
+        graph = AdaptationGraphBuilder(
+            ServiceCatalog(), ServicePlacement(topology)
+        ).build(content, device, "ns", "nr")
+        result = QoSPathSelector(graph, registry, parameters(), satisfaction()).run()
+        assert result.success
+        assert result.formats == ("hq",)
+        assert result.satisfaction == pytest.approx(1.0)
+
+    def test_lower_variant_wins_when_it_unlocks_the_only_chain(self):
+        """Only the SD variant has a transcoder to the device's codec."""
+        registry = FormatRegistry()
+        registry.define("hq", compression_ratio=10.0)
+        registry.define("sd", compression_ratio=10.0)
+        registry.define("mobile", compression_ratio=10.0)
+        topology = NetworkTopology()
+        for node in ("ns", "np", "nr"):
+            topology.node(node)
+        topology.link("ns", "np", WIDE)
+        topology.link("np", "nr", WIDE)
+        catalog = ServiceCatalog(
+            [
+                ServiceDescriptor(
+                    service_id="sd-to-mobile",
+                    input_formats=("sd",),
+                    output_formats=("mobile",),
+                )
+            ]
+        )
+        placement = ServicePlacement(topology, {"sd-to-mobile": "np"})
+        content = ContentProfile(
+            "c", [variant(registry, "hq", 30.0), variant(registry, "sd", 18.0)]
+        )
+        device = DeviceProfile("d", decoders=["mobile"])
+        graph = AdaptationGraphBuilder(catalog, placement).build(
+            content, device, "ns", "nr"
+        )
+        result = QoSPathSelector(graph, registry, parameters(), satisfaction()).run()
+        assert result.success
+        assert result.formats[0] == "sd"
+        # The SD variant's stored quality (18 fps) is the ceiling.
+        assert result.delivered_frame_rate == pytest.approx(18.0)
+
+    def test_per_variant_configurations_are_respected(self):
+        """Two variants reach the receiver through the SAME transcoder;
+        the candidate keeps whichever stored quality scores higher."""
+        registry = FormatRegistry()
+        registry.define("hq", compression_ratio=10.0)
+        registry.define("sd", compression_ratio=10.0)
+        registry.define("out", compression_ratio=10.0)
+        topology = NetworkTopology()
+        for node in ("ns", "np", "nr"):
+            topology.node(node)
+        topology.link("ns", "np", WIDE)
+        topology.link("np", "nr", WIDE)
+        catalog = ServiceCatalog(
+            [
+                ServiceDescriptor(
+                    service_id="X",
+                    input_formats=("hq", "sd"),
+                    output_formats=("out",),
+                )
+            ]
+        )
+        placement = ServicePlacement(topology, {"X": "np"})
+        content = ContentProfile(
+            "c", [variant(registry, "hq", 28.0), variant(registry, "sd", 12.0)]
+        )
+        device = DeviceProfile("d", decoders=["out"])
+        graph = AdaptationGraphBuilder(catalog, placement).build(
+            content, device, "ns", "nr"
+        )
+        result = QoSPathSelector(graph, registry, parameters(), satisfaction()).run()
+        assert result.formats[0] == "hq"
+        assert result.delivered_frame_rate == pytest.approx(28.0)
+
+    def test_sender_vertex_carries_one_configuration_per_variant(self):
+        registry = FormatRegistry()
+        registry.define("hq", compression_ratio=10.0)
+        registry.define("sd", compression_ratio=10.0)
+        topology = NetworkTopology()
+        topology.node("ns")
+        topology.node("nr")
+        topology.link("ns", "nr", WIDE)
+        content = ContentProfile(
+            "c", [variant(registry, "hq", 30.0), variant(registry, "sd", 15.0)]
+        )
+        device = DeviceProfile("d", decoders=["hq"])
+        graph = AdaptationGraphBuilder(
+            ServiceCatalog(), ServicePlacement(topology)
+        ).build(content, device, "ns", "nr")
+        configs = graph.sender.source_configurations
+        assert configs["hq"][FRAME_RATE] == 30.0
+        assert configs["sd"][FRAME_RATE] == 15.0

@@ -1,0 +1,200 @@
+"""Reproduction tests: every figure and table of the paper.
+
+These tests are the authoritative check that the reconstruction in
+``repro.workloads.paper`` regenerates the paper's printed artifacts —
+EXPERIMENTS.md cites them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import FRAME_RATE
+from repro.core.selection import TieBreakPolicy
+from repro.workloads.paper import (
+    figure1_satisfaction,
+    figure2_service,
+    figure3_scenario,
+    figure6_scenario,
+    table1_expected_rows,
+)
+
+
+class TestFigure1:
+    """Figure 1: a possible satisfaction function for the frame rate."""
+
+    def test_minimum_and_ideal_match_the_drawing(self):
+        fn = figure1_satisfaction()
+        assert fn.minimum == 5.0
+        assert fn.ideal == 20.0
+
+    def test_range_and_endpoints(self):
+        fn = figure1_satisfaction()
+        assert fn(0.0) == 0.0
+        assert fn(5.0) == 0.0
+        assert fn(20.0) == 1.0
+        assert fn(25.0) == 1.0
+
+    def test_monotone_over_the_axis(self):
+        fn = figure1_satisfaction()
+        fn.validate_monotone()
+        series = fn.series(0.0, 20.0, 81)
+        values = [s for _, s in series]
+        assert values == sorted(values)
+
+    def test_concave_rise_like_the_drawing(self):
+        fn = figure1_satisfaction()
+        # Early fps gains matter more than late ones.
+        early_gain = fn(10.0) - fn(5.0)
+        late_gain = fn(20.0) - fn(15.0)
+        assert early_gain > late_gain
+
+
+class TestFigure2:
+    """Figure 2: trans-coding service with multiple input and output links."""
+
+    def test_t1_has_the_papers_links(self):
+        service = figure2_service()
+        assert set(service.input_formats) == {"F5", "F6"}
+        assert set(service.output_formats) == {"F10", "F11", "F12", "F13"}
+
+
+class TestFigure3:
+    """Figure 3: the directed trans-coding graph construction example."""
+
+    def test_one_sender_one_receiver_seven_intermediates(self):
+        graph = figure3_scenario().build_graph()
+        transcoders = [
+            v for v in graph.vertices() if v.service.is_transcoder
+        ]
+        assert len(transcoders) == 7
+        assert graph.sender.is_sender
+        assert graph.receiver.is_receiver
+
+    def test_sender_output_links_are_the_content_variants(self):
+        scenario = figure3_scenario()
+        graph = scenario.build_graph()
+        sender_formats = {e.format_name for e in graph.out_edges("sender")}
+        assert sender_formats == {"F3", "F4", "F5"}
+
+    def test_sender_connects_to_t1_via_f5(self):
+        """'The sender node is connected to the trans-coding service T1
+        along the edge labeled F5.'"""
+        graph = figure3_scenario().build_graph()
+        assert any(
+            e.target == "T1" and e.format_name == "F5"
+            for e in graph.out_edges("sender")
+        )
+
+    def test_receiver_input_links_are_the_decoders(self):
+        graph = figure3_scenario().build_graph()
+        receiver_formats = {e.format_name for e in graph.in_edges("receiver")}
+        assert receiver_formats == {"F14", "F15", "F16"}
+
+    def test_all_paths_obey_distinct_formats(self):
+        graph = figure3_scenario().build_graph()
+        paths = list(graph.enumerate_paths())
+        assert paths, "the example graph must be connected"
+        for path in paths:
+            formats = [e.format_name for e in path]
+            assert len(formats) == len(set(formats))
+
+    def test_selection_succeeds_on_the_example(self):
+        result = figure3_scenario().select()
+        assert result.success
+
+
+class TestTable1:
+    """Table 1: the 15-round selection trace, cell by cell."""
+
+    @pytest.fixture(scope="class")
+    def trace_rows(self):
+        result = figure6_scenario().select()
+        assert result.success
+        return result.trace.rounds
+
+    def test_fifteen_rounds(self, trace_rows):
+        assert len(trace_rows) == 15
+
+    @pytest.mark.parametrize("index", range(15))
+    def test_round_matches_paper(self, trace_rows, index):
+        expected = table1_expected_rows()[index]
+        row = trace_rows[index]
+        assert row.considered_set == expected["vt"], "VT column"
+        assert row.candidate_set == expected["cs"], "CS column"
+        assert row.selected == expected["selected"], "Selected column"
+        assert row.path == expected["path"], "Path column"
+        assert row.displayed_frame_rate() == expected["frame_rate"], "FPS column"
+        assert row.displayed_satisfaction() == expected["satisfaction"], (
+            "Satisfaction column"
+        )
+
+    def test_final_row_is_the_delivered_result(self, trace_rows):
+        final = trace_rows[-1]
+        assert final.selected == "receiver"
+        assert final.path == ("sender", "T7", "receiver")
+        assert final.displayed_frame_rate() == "20"
+        assert final.displayed_satisfaction() == "0.66"
+
+    def test_underlying_satisfactions_strictly_decrease(self, trace_rows):
+        values = [r.satisfaction for r in trace_rows]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_trace_independent_of_tie_break(self):
+        """The reconstruction has no exact ties, so every policy replays
+        the identical table."""
+        reference = figure6_scenario().select().trace.paper_rows()
+        for policy in TieBreakPolicy:
+            rows = (
+                figure6_scenario()
+                .select(tie_break=policy)
+                .trace.paper_rows()
+            )
+            assert rows == reference, policy
+
+
+class TestFigure6:
+    """Figure 6: the selected path with and without T7."""
+
+    def test_with_t7(self):
+        result = figure6_scenario(include_t7=True).select()
+        assert result.path == ("sender", "T7", "receiver")
+        assert f"{result.satisfaction:.2f}" == "0.66"
+
+    def test_without_t7(self):
+        result = figure6_scenario(include_t7=False).select()
+        assert result.success
+        assert result.path == ("sender", "T8", "receiver")
+        assert result.satisfaction < 0.66 - 1e-6
+
+    def test_removing_t7_costs_satisfaction(self):
+        with_t7 = figure6_scenario(include_t7=True).select().satisfaction
+        without = figure6_scenario(include_t7=False).select().satisfaction
+        assert with_t7 > without
+
+    def test_graph_shape(self):
+        graph = figure6_scenario().build_graph()
+        # sender + receiver + 17 services (T1..T15, T19, T20).
+        assert len(graph) == 19
+        assert graph.successors("sender") == [
+            "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10",
+        ]
+        assert graph.successors("T10") == ["T19", "T20", "receiver"]
+        assert graph.successors("T2") == ["T12", "T13"]
+
+    def test_greedy_optimality_on_figure6(self):
+        """Figure 5's claim on the paper's own graph: greedy = optimum."""
+        from repro.core.baselines import ExhaustiveSelector
+
+        scenario = figure6_scenario()
+        graph = scenario.build_graph()
+        greedy = scenario.selector(graph=graph).run()
+        exhaustive = ExhaustiveSelector(
+            graph,
+            scenario.registry,
+            scenario.parameters,
+            scenario.user.satisfaction(),
+            scenario.user.budget,
+        ).run()
+        assert greedy.satisfaction == pytest.approx(exhaustive.satisfaction)
+        assert greedy.path == exhaustive.path

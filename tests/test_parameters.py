@@ -1,0 +1,185 @@
+"""Unit tests for QoS parameters and value domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    AUDIO_QUALITY,
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+    Parameter,
+    ParameterSet,
+    standard_parameters,
+)
+from repro.errors import UnknownParameterError, ValidationError
+
+
+class TestContinuousDomain:
+    def test_bounds(self):
+        domain = ContinuousDomain(1.0, 5.0)
+        assert domain.minimum == 1.0
+        assert domain.maximum == 5.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            ContinuousDomain(5.0, 1.0)
+
+    def test_contains(self):
+        domain = ContinuousDomain(1.0, 5.0)
+        assert domain.contains(1.0)
+        assert domain.contains(5.0)
+        assert domain.contains(3.3)
+        assert not domain.contains(0.9)
+        assert not domain.contains(5.1)
+
+    def test_clamp_down_inside(self):
+        assert ContinuousDomain(0.0, 10.0).clamp_down(7.5) == 7.5
+
+    def test_clamp_down_above(self):
+        assert ContinuousDomain(0.0, 10.0).clamp_down(42.0) == 10.0
+
+    def test_clamp_down_below_returns_none(self):
+        assert ContinuousDomain(5.0, 10.0).clamp_down(4.9) is None
+
+    def test_sample_endpoints(self):
+        samples = ContinuousDomain(0.0, 10.0).sample(5)
+        assert samples[0] == 0.0
+        assert samples[-1] == 10.0
+        assert len(samples) == 5
+
+    def test_sample_single_returns_maximum(self):
+        assert ContinuousDomain(0.0, 10.0).sample(1) == [10.0]
+
+    def test_sample_degenerate_interval(self):
+        assert ContinuousDomain(3.0, 3.0).sample(4) == [3.0]
+
+    def test_sample_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            ContinuousDomain(0.0, 1.0).sample(0)
+
+
+class TestDiscreteDomain:
+    def test_sorts_and_dedupes(self):
+        domain = DiscreteDomain([8, 2, 8, 4])
+        assert domain.values == (2.0, 4.0, 8.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            DiscreteDomain([])
+
+    def test_contains_exact_values_only(self):
+        domain = DiscreteDomain([1, 2, 4])
+        assert domain.contains(2.0)
+        assert not domain.contains(3.0)
+
+    def test_clamp_down_snaps_to_lower_value(self):
+        domain = DiscreteDomain([1, 2, 4, 8])
+        assert domain.clamp_down(7.9) == 4.0
+        assert domain.clamp_down(8.0) == 8.0
+        assert domain.clamp_down(100.0) == 8.0
+
+    def test_clamp_down_below_minimum_returns_none(self):
+        assert DiscreteDomain([2, 4]).clamp_down(1.0) is None
+
+    def test_sample_includes_extremes(self):
+        domain = DiscreteDomain(range(10))
+        samples = domain.sample(3)
+        assert samples[0] == 0.0
+        assert samples[-1] == 9.0
+        assert len(samples) == 3
+
+    def test_sample_more_than_size_returns_all(self):
+        domain = DiscreteDomain([1, 2, 3])
+        assert domain.sample(10) == [1.0, 2.0, 3.0]
+
+    def test_sample_single_returns_maximum(self):
+        assert DiscreteDomain([1, 5]).sample(1) == [5.0]
+
+
+class TestParameter:
+    def test_requires_name(self):
+        with pytest.raises(ValidationError):
+            Parameter("", "fps", ContinuousDomain(0, 1))
+
+    def test_min_max_delegate_to_domain(self):
+        param = Parameter("p", "u", DiscreteDomain([3, 9]))
+        assert param.minimum == 3.0
+        assert param.maximum == 9.0
+
+    def test_clamp_down_delegates(self):
+        param = Parameter("p", "u", DiscreteDomain([3, 9]))
+        assert param.clamp_down(5.0) == 3.0
+
+    def test_str_shows_unit(self):
+        assert str(Parameter("frame_rate", "fps", ContinuousDomain(0, 1))) == "frame_rate [fps]"
+
+
+class TestParameterSet:
+    def _params(self):
+        return ParameterSet(
+            [
+                Parameter("a", "u", ContinuousDomain(0, 1)),
+                Parameter("b", "u", DiscreteDomain([1, 2])),
+            ]
+        )
+
+    def test_lookup(self):
+        params = self._params()
+        assert params.get("a").name == "a"
+        assert params["b"].name == "b"
+        assert "a" in params and "missing" not in params
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownParameterError):
+            self._params().get("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ParameterSet(
+                [
+                    Parameter("a", "u", ContinuousDomain(0, 1)),
+                    Parameter("a", "u", ContinuousDomain(0, 2)),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ParameterSet([])
+
+    def test_order_preserved(self):
+        assert self._params().names() == ["a", "b"]
+
+    def test_subset(self):
+        subset = self._params().subset(["b"])
+        assert subset.names() == ["b"]
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(UnknownParameterError):
+            self._params().subset(["zzz"])
+
+    def test_len_and_iter(self):
+        params = self._params()
+        assert len(params) == 2
+        assert [p.name for p in params] == ["a", "b"]
+
+
+class TestStandardParameters:
+    def test_contains_the_papers_examples(self):
+        params = standard_parameters()
+        for name in (FRAME_RATE, RESOLUTION, COLOR_DEPTH, AUDIO_QUALITY):
+            assert name in params
+
+    def test_frame_rate_is_continuous(self):
+        domain = standard_parameters()[FRAME_RATE].domain
+        assert isinstance(domain, ContinuousDomain)
+        assert domain.minimum == 0.0
+
+    def test_color_depth_values_are_the_usual_ones(self):
+        domain = standard_parameters()[COLOR_DEPTH].domain
+        assert isinstance(domain, DiscreteDomain)
+        assert 24.0 in domain.values
+        assert 1.0 in domain.values

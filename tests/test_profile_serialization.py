@@ -1,0 +1,214 @@
+"""Round-trip tests for profile serialization (the XML stand-in)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import AUDIO_QUALITY, FRAME_RATE
+from repro.core.satisfaction import (
+    GeometricCombiner,
+    HarmonicCombiner,
+    LinearSatisfaction,
+    LogisticSatisfaction,
+    MinimumCombiner,
+    PiecewiseLinearSatisfaction,
+    StepSatisfaction,
+    WeightedHarmonicCombiner,
+)
+from repro.errors import ValidationError
+from repro.formats.format import MediaFormat
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.intermediary import IntermediaryProfile
+from repro.profiles.network import NetworkProfile
+from repro.profiles.serialization import (
+    combiner_from_dict,
+    combiner_to_dict,
+    descriptor_from_dict,
+    descriptor_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    satisfaction_from_dict,
+    satisfaction_to_dict,
+)
+from repro.profiles.user import AdaptationPolicy, UserProfile
+from repro.services.descriptor import ServiceDescriptor
+
+
+def roundtrip(profile, registry=None):
+    data = profile_to_dict(profile)
+    # Everything must survive a JSON round trip (the wire format).
+    data = json.loads(json.dumps(data))
+    return profile_from_dict(data, registry)
+
+
+class TestSatisfactionSerialization:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            LinearSatisfaction(0.0, 30.0),
+            PiecewiseLinearSatisfaction([(5, 0), (10, 0.5), (20, 1.0)]),
+            StepSatisfaction([(8, 0.4), (16, 1.0)]),
+            LogisticSatisfaction(0.0, 10.0, steepness=6.0),
+        ],
+    )
+    def test_round_trip_preserves_shape(self, fn):
+        rebuilt = satisfaction_from_dict(satisfaction_to_dict(fn))
+        for i in range(21):
+            x = fn.minimum + i * (fn.ideal - fn.minimum) / 20
+            assert rebuilt(x) == pytest.approx(fn(x))
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            satisfaction_from_dict({"shape": "fractal"})
+
+
+class TestCombinerSerialization:
+    @pytest.mark.parametrize(
+        "combiner",
+        [
+            HarmonicCombiner(),
+            WeightedHarmonicCombiner([1.0, 2.0]),
+            MinimumCombiner(),
+            GeometricCombiner(),
+        ],
+    )
+    def test_round_trip(self, combiner):
+        rebuilt = combiner_from_dict(combiner_to_dict(combiner))
+        assert type(rebuilt) is type(combiner)
+
+    def test_weights_preserved(self):
+        rebuilt = combiner_from_dict(
+            combiner_to_dict(WeightedHarmonicCombiner([3.0, 1.0]))
+        )
+        assert rebuilt.weights == (3.0, 1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            combiner_from_dict({"kind": "quantum"})
+
+
+class TestDescriptorSerialization:
+    def test_round_trip(self):
+        descriptor = ServiceDescriptor(
+            service_id="T1",
+            input_formats=("F1", "F2"),
+            output_formats=("F3",),
+            output_caps={FRAME_RATE: 15.0},
+            cost=2.5,
+            cpu_factor=1.5,
+            memory_mb=128.0,
+            provider="acme",
+        )
+        rebuilt = descriptor_from_dict(descriptor_to_dict(descriptor))
+        assert rebuilt == descriptor
+
+
+class TestProfileRoundTrips:
+    def test_user_profile(self):
+        user = UserProfile(
+            user_id="alice",
+            display_name="Alice",
+            budget=42.0,
+            satisfaction_functions={
+                FRAME_RATE: LinearSatisfaction(0, 30),
+                AUDIO_QUALITY: StepSatisfaction([(32, 0.5), (128, 1.0)]),
+            },
+            combiner=WeightedHarmonicCombiner([2.0, 1.0]),
+            policies=[AdaptationPolicy(AUDIO_QUALITY, 0)],
+        )
+        rebuilt = roundtrip(user)
+        assert rebuilt.user_id == "alice"
+        assert rebuilt.budget == 42.0
+        assert [p.parameter for p in rebuilt.policies] == [AUDIO_QUALITY]
+        original_total = user.satisfaction().evaluate(
+            {FRAME_RATE: 20.0, AUDIO_QUALITY: 64.0}
+        )
+        rebuilt_total = rebuilt.satisfaction().evaluate(
+            {FRAME_RATE: 20.0, AUDIO_QUALITY: 64.0}
+        )
+        assert rebuilt_total == pytest.approx(original_total)
+
+    def test_content_profile_needs_registry(self):
+        registry = FormatRegistry([MediaFormat(name="F1", compression_ratio=10.0)])
+        content = ContentProfile(
+            content_id="clip",
+            variants=[
+                ContentVariant(
+                    format=registry.get("F1"),
+                    configuration=Configuration({FRAME_RATE: 30.0}),
+                    title="main",
+                )
+            ],
+            author="me",
+        )
+        rebuilt = roundtrip(content, registry)
+        assert rebuilt.content_id == "clip"
+        assert rebuilt.variant_for("F1").configuration[FRAME_RATE] == 30.0
+        with pytest.raises(ValidationError):
+            roundtrip(content, None)
+
+    def test_context_profile(self):
+        context = ContextProfile(
+            location="office",
+            activity="meeting",
+            noise_level_db=55.0,
+            local_time_hour=14,
+        )
+        rebuilt = roundtrip(context)
+        assert rebuilt.activity == "meeting"
+        assert rebuilt.local_time_hour == 14
+        assert rebuilt.parameter_caps() == context.parameter_caps()
+
+    def test_device_profile(self):
+        device = DeviceProfile(
+            device_id="phone",
+            decoders=["F1", "F2"],
+            max_frame_rate=15.0,
+            vendor="acme",
+        )
+        rebuilt = roundtrip(device)
+        assert rebuilt.decoders == ["F1", "F2"]
+        assert rebuilt.rendering_caps() == device.rendering_caps()
+
+    def test_network_profile(self):
+        topology = NetworkTopology()
+        topology.node("a")
+        topology.node("b")
+        topology.link("a", "b", 5e6, delay_ms=2.0)
+        profile = NetworkProfile.from_topology(topology)
+        rebuilt = roundtrip(profile)
+        assert rebuilt.throughput("a", "b") == 5e6
+
+    def test_intermediary_profile(self):
+        profile = IntermediaryProfile(
+            node_id="proxy1",
+            services=[
+                ServiceDescriptor(
+                    service_id="T1",
+                    input_formats=("F1",),
+                    output_formats=("F2",),
+                )
+            ],
+            available_cpu_mips=500.0,
+        )
+        rebuilt = roundtrip(profile)
+        assert rebuilt.node_id == "proxy1"
+        assert rebuilt.service_ids() == ["T1"]
+        assert rebuilt.available_cpu_mips == 500.0
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_from_dict({"profile": "astral"})
+
+    def test_non_profile_object_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_to_dict(object())

@@ -1,0 +1,337 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+DESIGN.md's invariant list, checked on generated inputs:
+
+- satisfaction functions are monotone with range in [0, 1];
+- combiners stay within [min(s), max(s)] and respect known orderings;
+- configurations' bandwidth model is monotone; capping never raises values;
+- domains' clamp_down returns the largest feasible value not above the
+  request;
+- every enumerated path in a generated adaptation graph carries distinct
+  formats;
+- the greedy selector equals exhaustive search on generated scenarios
+  (Figure 5), and pruning never changes the result.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines import ExhaustiveSelector
+from repro.core.configuration import Configuration
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    ContinuousDomain,
+    DiscreteDomain,
+)
+from repro.core.pruning import GraphPruner
+from repro.core.satisfaction import (
+    GeometricCombiner,
+    HarmonicCombiner,
+    LinearSatisfaction,
+    LogisticSatisfaction,
+    MinimumCombiner,
+    PiecewiseLinearSatisfaction,
+    WeightedHarmonicCombiner,
+)
+from repro.core.selection import QoSPathSelector
+from repro.formats.format import MediaFormat
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+finite = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+satisfaction_values = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def linear_functions(draw):
+    minimum = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    span = draw(st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+    return LinearSatisfaction(minimum, minimum + span)
+
+
+@st.composite
+def piecewise_functions(draw):
+    xs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        )
+    )
+    xs.sort()
+    # Strictly increasing x with minimum gap to avoid degenerate knots.
+    if any(b - a < 1e-6 for a, b in zip(xs, xs[1:])):
+        xs = [i * 10.0 for i in range(len(xs))]
+    ys = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=len(xs),
+                max_size=len(xs),
+            )
+        )
+    )
+    ys[0], ys[-1] = 0.0, 1.0
+    return PiecewiseLinearSatisfaction(list(zip(xs, ys)))
+
+
+any_function = st.one_of(
+    linear_functions(),
+    piecewise_functions(),
+    st.builds(
+        LogisticSatisfaction,
+        st.just(0.0),
+        st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Satisfaction functions
+# ----------------------------------------------------------------------
+
+
+@given(fn=any_function, value=st.floats(min_value=-1e3, max_value=1e6, allow_nan=False))
+def test_satisfaction_range_is_unit_interval(fn, value):
+    assert 0.0 <= fn(value) <= 1.0
+
+
+@given(fn=any_function, data=st.data())
+def test_satisfaction_is_monotone(fn, data):
+    lo = data.draw(st.floats(min_value=-10.0, max_value=1100.0, allow_nan=False))
+    hi = data.draw(st.floats(min_value=-10.0, max_value=1100.0, allow_nan=False))
+    if lo > hi:
+        lo, hi = hi, lo
+    assert fn(lo) <= fn(hi) + 1e-12
+
+
+@given(fn=any_function)
+def test_satisfaction_endpoints(fn):
+    assert fn(fn.minimum - 1.0) == 0.0
+    assert fn(fn.ideal + 1.0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Combiners
+# ----------------------------------------------------------------------
+
+
+@given(values=satisfaction_values)
+def test_harmonic_combiner_bounded_by_inputs(values):
+    total = HarmonicCombiner()(values)
+    assert 0.0 <= total <= max(values) + 1e-12
+    if all(v > 1e-9 for v in values):
+        assert total >= min(values) - 1e-12
+
+
+@given(values=satisfaction_values)
+def test_combiner_ordering_min_harmonic_geometric(values):
+    low = MinimumCombiner()(values)
+    mid = HarmonicCombiner()(values)
+    high = GeometricCombiner()(values)
+    assert low <= mid + 1e-12
+    assert mid <= high + 1e-12
+
+
+@given(values=satisfaction_values)
+def test_equal_inputs_are_fixed_points(values):
+    value = values[0]
+    uniform = [value] * len(values)
+    for combiner in (HarmonicCombiner(), MinimumCombiner(), GeometricCombiner()):
+        assert combiner(uniform) == (
+            0.0 if value <= 1e-12 and combiner.name != "minimum" else value
+        ) or math.isclose(combiner(uniform), value, abs_tol=1e-9)
+
+
+@given(
+    values=satisfaction_values,
+    weights=st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_weighted_harmonic_bounded(values, weights):
+    n = min(len(values), len(weights))
+    combiner = WeightedHarmonicCombiner(weights[:n])
+    total = combiner(values[:n])
+    assert 0.0 <= total <= max(values[:n]) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Domains and configurations
+# ----------------------------------------------------------------------
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    ),
+    probe=st.floats(min_value=-10.0, max_value=2e4, allow_nan=False),
+)
+def test_discrete_clamp_down_is_largest_feasible(values, probe):
+    domain = DiscreteDomain(values)
+    clamped = domain.clamp_down(probe)
+    if clamped is None:
+        assert all(v > probe for v in domain.values)
+    else:
+        assert clamped <= probe
+        assert clamped in domain.values
+        assert all(v > probe for v in domain.values if v > clamped)
+
+
+@given(
+    low=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    span=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    probe=st.floats(min_value=-50.0, max_value=300.0, allow_nan=False),
+)
+def test_continuous_clamp_down_properties(low, span, probe):
+    domain = ContinuousDomain(low, low + span)
+    clamped = domain.clamp_down(probe)
+    if probe < low:
+        assert clamped is None
+    else:
+        assert clamped == min(probe, domain.maximum)
+
+
+config_values = st.fixed_dictionaries(
+    {
+        FRAME_RATE: st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+        RESOLUTION: st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+        COLOR_DEPTH: st.floats(min_value=0.0, max_value=48.0, allow_nan=False),
+    }
+)
+
+
+@given(values=config_values, ratio=st.floats(min_value=1.0, max_value=100.0))
+def test_bandwidth_monotone_under_capping(values, ratio):
+    fmt = MediaFormat(name="prop", compression_ratio=ratio)
+    config = Configuration(values)
+    capped = config.capped_by({FRAME_RATE: values[FRAME_RATE] / 2.0})
+    assert capped.required_bandwidth(fmt) <= config.required_bandwidth(fmt) + 1e-9
+    assert config.dominates(capped)
+
+
+@given(values=config_values, caps=config_values)
+def test_capping_is_idempotent_and_bounded(values, caps):
+    config = Configuration(values)
+    once = config.capped_by(caps)
+    twice = once.capped_by(caps)
+    assert once == twice
+    for name in once:
+        assert once[name] <= values[name]
+        assert once[name] <= caps[name]
+
+
+# ----------------------------------------------------------------------
+# Graphs and selection on generated scenarios
+# ----------------------------------------------------------------------
+
+scenario_configs = st.builds(
+    SyntheticConfig,
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_services=st.integers(min_value=4, max_value=14),
+    n_formats=st.integers(min_value=5, max_value=10),
+    n_nodes=st.integers(min_value=3, max_value=8),
+    backbone_hops=st.integers(min_value=1, max_value=3),
+    preference_mode=st.sampled_from(["single", "rich"]),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=scenario_configs)
+def test_enumerated_paths_have_distinct_formats_and_services(config):
+    graph = generate_scenario(config).build_graph()
+    for path in graph.enumerate_paths(max_paths=200):
+        formats = [e.format_name for e in path]
+        services = [e.target for e in path]
+        assert len(formats) == len(set(formats))
+        assert len(services) == len(set(services))
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=scenario_configs)
+def test_greedy_matches_exhaustive(config):
+    """Figure 5's optimality claim on random scenarios."""
+    scenario = generate_scenario(config)
+    graph = scenario.build_graph()
+    greedy = QoSPathSelector.for_user(
+        graph, scenario.registry, scenario.parameters, scenario.user
+    ).run()
+    exhaustive = ExhaustiveSelector(
+        graph,
+        scenario.registry,
+        scenario.parameters,
+        scenario.user.satisfaction(),
+        scenario.user.budget,
+        max_paths=20_000,
+    ).run()
+    assert greedy.success == exhaustive.success
+    if greedy.success:
+        assert math.isclose(
+            greedy.satisfaction, exhaustive.satisfaction, abs_tol=1e-9
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=scenario_configs)
+def test_pruning_preserves_selection(config):
+    scenario = generate_scenario(config)
+    graph = scenario.build_graph()
+    pruned, _ = GraphPruner().prune(graph)
+    before = scenario.selector(graph=graph).run()
+    after = scenario.selector(graph=pruned).run()
+    assert before.success == after.success
+    if before.success:
+        assert math.isclose(before.satisfaction, after.satisfaction, abs_tol=1e-9)
+        assert before.path == after.path
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=scenario_configs)
+def test_settled_satisfaction_non_increasing(config):
+    scenario = generate_scenario(config)
+    result = scenario.select()
+    if result.trace is None or not result.trace.rounds:
+        return
+    values = [r.satisfaction for r in result.trace.rounds]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    config=scenario_configs,
+    budget=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+)
+def test_budget_is_always_respected(config, budget):
+    scenario = generate_scenario(config)
+    graph = scenario.build_graph()
+    result = QoSPathSelector(
+        graph,
+        scenario.registry,
+        scenario.parameters,
+        scenario.user.satisfaction(),
+        budget=budget,
+    ).run()
+    if result.success:
+        assert result.accumulated_cost <= budget + 1e-9

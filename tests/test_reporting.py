@@ -1,0 +1,107 @@
+"""Tests for Markdown / CSV report rendering."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.core.reporting import (
+    comparison_table,
+    markdown_table,
+    result_to_markdown,
+    trace_to_csv,
+    trace_to_markdown,
+)
+from repro.workloads.paper import figure6_scenario
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return figure6_scenario().select()
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        text = markdown_table(["a", "b"], [("1", "2"), ("3", "4")])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_pipes_escaped(self):
+        text = markdown_table(["x"], [("a|b",)])
+        assert "a\\|b" in text
+
+    def test_non_string_cells(self):
+        text = markdown_table(["n"], [(42,)])
+        assert "| 42 |" in text
+
+
+class TestTraceRendering:
+    def test_markdown_has_all_rounds(self, fig6_result):
+        text = trace_to_markdown(fig6_result.trace)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 15  # header + separator + 15 rounds
+        assert "| T10 |" in lines[2]
+        assert lines[-1].count("receiver") >= 1
+
+    def test_markdown_matches_paper_values(self, fig6_result):
+        text = trace_to_markdown(fig6_result.trace)
+        assert "| 30 | 1.00 |" in text
+        assert "| 20 | 0.66 |" in text
+
+    def test_csv_parses_back(self, fig6_result):
+        text = trace_to_csv(fig6_result.trace)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "Round"
+        assert len(rows) == 16
+        final = rows[-1]
+        assert final[3] == "receiver"
+        assert final[6] == "0.66"
+
+    def test_csv_sets_survive_commas(self, fig6_result):
+        """VT/CS cells contain commas; CSV quoting must keep columns
+        aligned."""
+        text = trace_to_csv(fig6_result.trace)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert all(len(row) == 7 for row in rows)
+
+
+class TestResultMarkdown:
+    def test_success_block(self, fig6_result):
+        text = result_to_markdown(fig6_result, title="Figure 6")
+        assert text.startswith("### Figure 6")
+        assert "sender,T7,receiver" in text
+        assert "19.75 fps" in text
+
+    def test_failure_block(self):
+        result = figure6_scenario(budget=0.0).select()
+        text = result_to_markdown(result)
+        assert "FAILURE" in text
+
+
+class TestComparisonTable:
+    def test_highlight_best(self):
+        text = comparison_table(
+            ["satisfaction", "ms"],
+            [("greedy", "0.94", "9.4"), ("widest", "0.78", "689")],
+            highlight_best=0,
+        )
+        assert "**greedy**" in text
+        assert "**widest**" not in text
+
+    def test_no_highlight(self):
+        text = comparison_table(["s"], [("a", "1"), ("b", "2")])
+        assert "**" not in text
+
+    def test_non_numeric_column_tolerated(self):
+        text = comparison_table(
+            ["path"],
+            [("a", "sender,T7"), ("b", "sender,T8")],
+            highlight_best=0,
+        )
+        # Nothing numeric to compare; no crash, something rendered.
+        assert "sender,T7" in text

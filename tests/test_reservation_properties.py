@@ -1,0 +1,113 @@
+"""Property-based tests for the bandwidth ledger (conservation laws)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.network.generators import chain_topology
+from repro.network.reservations import BandwidthLedger
+
+LINK_CAPACITY = 10e6
+CHAIN_LENGTH = 5
+
+
+def fresh_ledger() -> BandwidthLedger:
+    return BandwidthLedger(
+        chain_topology(CHAIN_LENGTH, bandwidth_bps=LINK_CAPACITY)
+    )
+
+
+route_strategy = st.tuples(
+    st.integers(min_value=0, max_value=CHAIN_LENGTH - 2),
+    st.integers(min_value=1, max_value=CHAIN_LENGTH - 1),
+).map(
+    lambda pair: [
+        f"hop{i}"
+        for i in range(min(pair[0], pair[1] - 1), max(pair[0] + 1, pair[1]) + 1)
+    ]
+)
+
+demand_strategy = st.floats(
+    min_value=1.0, max_value=LINK_CAPACITY, allow_nan=False
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(route_strategy, demand_strategy), min_size=1, max_size=20
+    )
+)
+def test_reserve_release_conserves_capacity(operations):
+    """After releasing everything, every link is back to full capacity."""
+    ledger = fresh_ledger()
+    taken = []
+    for route, demand in operations:
+        try:
+            taken.append(ledger.reserve(route, demand))
+        except ValidationError:
+            pass  # over-subscription rejections reserve nothing
+    for reservation in taken:
+        ledger.release(reservation)
+    for i in range(CHAIN_LENGTH - 1):
+        assert math.isclose(
+            ledger.residual(f"hop{i}", f"hop{i + 1}"),
+            LINK_CAPACITY,
+            rel_tol=1e-9,
+        )
+    assert len(ledger) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(route_strategy, demand_strategy), min_size=1, max_size=20
+    )
+)
+def test_residuals_never_negative_and_sum_consistent(operations):
+    """Residual = capacity - sum of active reservations crossing the
+    link, and never below zero."""
+    ledger = fresh_ledger()
+    for route, demand in operations:
+        try:
+            ledger.reserve(route, demand)
+        except ValidationError:
+            pass
+    for i in range(CHAIN_LENGTH - 1):
+        a, b = f"hop{i}", f"hop{i + 1}"
+        key = (a, b)
+        expected_load = sum(
+            r.bandwidth_bps
+            for r in ledger.active_reservations()
+            if key in r.links() or (b, a) in r.links()
+        )
+        residual = ledger.residual(a, b)
+        assert residual >= -1e-6
+        assert math.isclose(
+            residual, max(0.0, LINK_CAPACITY - expected_load), rel_tol=1e-9
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(route_strategy, demand_strategy), min_size=1, max_size=16
+    )
+)
+def test_residual_topology_matches_residuals(operations):
+    ledger = fresh_ledger()
+    for route, demand in operations:
+        try:
+            ledger.reserve(route, demand)
+        except ValidationError:
+            pass
+    residual = ledger.residual_topology()
+    for link in residual.links():
+        assert math.isclose(
+            link.bandwidth_bps,
+            ledger.residual(link.a, link.b),
+            rel_tol=1e-9,
+        )

@@ -1,0 +1,163 @@
+"""Property-based round-trip tests: serialization and chain execution.
+
+Hypothesis generates random service descriptors and chain/cap structures;
+the properties assert that
+
+- WSDL and dict serialization are lossless for any valid descriptor;
+- executing a chain applies exactly the composition of its caps (quality
+  monotonicity end to end);
+- scenario JSON persistence preserves selection behaviour on random
+  synthetic scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import COLOR_DEPTH, FRAME_RATE, RESOLUTION
+from repro.discovery.wsdl import descriptor_from_wsdl, descriptor_to_wsdl
+from repro.formats.format import MediaFormat
+from repro.formats.registry import FormatRegistry
+from repro.formats.variants import ContentVariant
+from repro.profiles.serialization import descriptor_from_dict, descriptor_to_dict
+from repro.services.chains import chain_from_services
+from repro.services.descriptor import (
+    ServiceDescriptor,
+    receiver_descriptor,
+    sender_descriptor,
+)
+from repro.workloads.io import scenario_from_dict, scenario_to_dict
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+format_names = st.lists(
+    st.from_regex(r"F[0-9]{1,3}", fullmatch=True),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+cap_values = st.dictionaries(
+    st.sampled_from([FRAME_RATE, RESOLUTION, COLOR_DEPTH]),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    max_size=3,
+)
+
+
+@st.composite
+def descriptors(draw):
+    inputs = draw(format_names)
+    outputs = draw(
+        format_names.filter(lambda names: not set(names) & set(inputs))
+    )
+    return ServiceDescriptor(
+        service_id=draw(st.from_regex(r"T[0-9]{1,3}", fullmatch=True)),
+        input_formats=tuple(inputs),
+        output_formats=tuple(outputs),
+        output_caps=draw(cap_values),
+        cost=draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+        cpu_factor=draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False)),
+        memory_mb=draw(st.floats(min_value=0.0, max_value=4096.0, allow_nan=False)),
+        provider=draw(st.sampled_from(["", "acme", "globex"])),
+        description=draw(st.sampled_from(["", "a transcoder"])),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(descriptor=descriptors())
+def test_wsdl_round_trip_lossless(descriptor):
+    assert descriptor_from_wsdl(descriptor_to_wsdl(descriptor)) == descriptor
+
+
+@settings(max_examples=60, deadline=None)
+@given(descriptor=descriptors())
+def test_dict_round_trip_lossless_through_json(descriptor):
+    data = json.loads(json.dumps(descriptor_to_dict(descriptor)))
+    assert descriptor_from_dict(data) == descriptor
+
+
+# ----------------------------------------------------------------------
+# Chain execution = composition of caps
+# ----------------------------------------------------------------------
+
+chain_caps = st.lists(
+    st.dictionaries(
+        st.sampled_from([FRAME_RATE, RESOLUTION, COLOR_DEPTH]),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+source_values = st.fixed_dictionaries(
+    {
+        FRAME_RATE: st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        RESOLUTION: st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        COLOR_DEPTH: st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    }
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(caps_list=chain_caps, values=source_values)
+def test_chain_execution_composes_caps(caps_list, values):
+    """Executing an n-stage chain caps every parameter by the minimum of
+    the source value and every stage's cap (no more, no less)."""
+    registry = FormatRegistry()
+    names = [f"C{i}" for i in range(len(caps_list) + 1)]
+    for name in names:
+        registry.define(name, compression_ratio=10.0)
+
+    services = [sender_descriptor("sender", (names[0],))]
+    for index, caps in enumerate(caps_list):
+        services.append(
+            ServiceDescriptor(
+                service_id=f"S{index}",
+                input_formats=(names[index],),
+                output_formats=(names[index + 1],),
+                output_caps=caps,
+            )
+        )
+    services.append(receiver_descriptor("receiver", (names[-1],)))
+    chain = chain_from_services(services, names)
+
+    variant = ContentVariant(
+        format=registry.get(names[0]),
+        configuration=Configuration(values),
+    )
+    delivered = chain.execute(variant, registry)
+
+    for parameter, source in values.items():
+        expected = source
+        for caps in caps_list:
+            if parameter in caps:
+                expected = min(expected, caps[parameter])
+        assert delivered.configuration[parameter] == expected
+    assert delivered.format.name == names[-1]
+
+
+# ----------------------------------------------------------------------
+# Scenario persistence preserves behaviour
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_scenario_persistence_preserves_selection(seed):
+    original = generate_scenario(SyntheticConfig(seed=seed, n_services=10))
+    rebuilt = scenario_from_dict(
+        json.loads(json.dumps(scenario_to_dict(original)))
+    )
+    a = original.select(record_trace=False)
+    b = rebuilt.select(record_trace=False)
+    assert a.success == b.success
+    if a.success:
+        assert a.path == b.path
+        assert abs(a.satisfaction - b.satisfaction) < 1e-12

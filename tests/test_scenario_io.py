@@ -1,0 +1,115 @@
+"""Tests for whole-scenario persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.intro import html_to_wml_scenario, jpeg_to_gif_scenario
+from repro.workloads.io import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.workloads.paper import figure3_scenario, figure6_scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+
+def roundtrip(scenario):
+    data = scenario_to_dict(scenario)
+    data = json.loads(json.dumps(data))  # force JSON compatibility
+    return scenario_from_dict(data)
+
+
+SCENARIO_BUILDERS = {
+    "figure6": figure6_scenario,
+    "figure3": figure3_scenario,
+    "jpeg": jpeg_to_gif_scenario,
+    "wml": html_to_wml_scenario,
+    "synthetic": lambda: generate_scenario(SyntheticConfig(seed=11, n_services=14)),
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+    def test_structure_survives(self, name):
+        original = SCENARIO_BUILDERS[name]()
+        rebuilt = roundtrip(original)
+        assert rebuilt.name == original.name
+        assert rebuilt.catalog.ids() == original.catalog.ids()
+        assert sorted(rebuilt.registry.names()) == sorted(original.registry.names())
+        assert rebuilt.placement.as_dict() == original.placement.as_dict()
+        assert rebuilt.parameters.names() == original.parameters.names()
+        assert len(rebuilt.topology.links()) == len(original.topology.links())
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+    def test_selection_identical_after_round_trip(self, name):
+        """The acid test: the rebuilt scenario makes the same decision."""
+        original = SCENARIO_BUILDERS[name]()
+        rebuilt = roundtrip(original)
+        a = original.select(record_trace=False)
+        b = rebuilt.select(record_trace=False)
+        assert a.success == b.success
+        if a.success:
+            assert a.path == b.path
+            assert a.satisfaction == pytest.approx(b.satisfaction)
+
+    def test_table1_survives_persistence(self, tmp_path):
+        """Even the cell-exact Table 1 trace reproduces from a saved
+        file."""
+        from repro.workloads.paper import table1_expected_rows
+
+        path = save_scenario(figure6_scenario(), tmp_path / "figure6.json")
+        rebuilt = load_scenario(path)
+        result = rebuilt.select()
+        for row, expected in zip(result.trace.rounds, table1_expected_rows()):
+            assert row.selected == expected["selected"]
+            assert row.displayed_satisfaction() == expected["satisfaction"]
+
+
+class TestFileLayer:
+    def test_save_and_load(self, tmp_path):
+        scenario = jpeg_to_gif_scenario()
+        path = save_scenario(scenario, tmp_path / "scenario.json")
+        assert path.exists()
+        rebuilt = load_scenario(path)
+        assert rebuilt.name == scenario.name
+
+    def test_saved_file_is_json(self, tmp_path):
+        path = save_scenario(figure3_scenario(), tmp_path / "s.json")
+        data = json.loads(path.read_text())
+        assert data["document"] == "repro-scenario"
+        assert data["version"] == 1
+
+    def test_malformed_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_scenario(bad)
+
+    def test_wrong_document_rejected(self):
+        with pytest.raises(ValidationError):
+            scenario_from_dict({"document": "shopping-list"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValidationError):
+            scenario_from_dict({"document": "repro-scenario", "version": 99})
+
+    def test_context_round_trips(self):
+        from repro.profiles.context import ContextProfile
+        from repro.workloads.scenario import Scenario
+
+        base = figure6_scenario()
+        with_context = Scenario(
+            **{
+                **base.__dict__,
+                "context": ContextProfile(activity="meeting", noise_level_db=70.0),
+            }
+        )
+        rebuilt = roundtrip(with_context)
+        assert rebuilt.context is not None
+        assert rebuilt.context.activity == "meeting"
+        assert rebuilt.context.noise_level_db == 70.0

@@ -1,0 +1,169 @@
+"""Integration tests using the standard format registry and parameters.
+
+Everything else in the suite builds bespoke registries; these tests check
+that the *shipped* defaults (:func:`repro.formats.registry.standard_registry`
+and :func:`repro.core.parameters.standard_parameters`) compose into working
+scenarios — including the audio-quality parameter, which the paper lists
+but the Figure 6 example never exercises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.graph import AdaptationGraphBuilder
+from repro.core.parameters import (
+    AUDIO_QUALITY,
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    standard_parameters,
+)
+from repro.core.satisfaction import LinearSatisfaction, StepSatisfaction
+from repro.core.selection import QoSPathSelector
+from repro.formats.registry import standard_registry
+from repro.formats.variants import ContentVariant
+from repro.network.placement import ServicePlacement
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import AdaptationPolicy, UserProfile
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor
+
+
+@pytest.fixture
+def standard_world():
+    registry = standard_registry()
+    parameters = standard_parameters()
+
+    topology = NetworkTopology()
+    topology.node("origin")
+    topology.node("proxy")
+    topology.node("client")
+    topology.link("origin", "proxy", 20e6, delay_ms=5.0)
+    topology.link("proxy", "client", 2e6, delay_ms=20.0)
+
+    catalog = ServiceCatalog(
+        [
+            ServiceDescriptor(
+                service_id="to-mpeg4",
+                input_formats=("mpeg2-hq", "mpeg2-sd"),
+                output_formats=("mpeg4-asp",),
+                cost=0.5,
+            ),
+            ServiceDescriptor(
+                service_id="to-mobile",
+                input_formats=("mpeg4-asp",),
+                output_formats=("h263-mobile",),
+                output_caps={RESOLUTION: 176.0 * 144.0, FRAME_RATE: 15.0},
+                cost=0.3,
+            ),
+        ]
+    )
+    placement = ServicePlacement(topology, {"to-mpeg4": "proxy", "to-mobile": "proxy"})
+    content = ContentProfile(
+        content_id="movie",
+        variants=[
+            ContentVariant(
+                format=registry.get("mpeg2-hq"),
+                configuration=Configuration(
+                    {
+                        FRAME_RATE: 30.0,
+                        RESOLUTION: 704.0 * 576.0,
+                        COLOR_DEPTH: 24.0,
+                        AUDIO_QUALITY: 256.0,
+                    }
+                ),
+            )
+        ],
+    )
+    return registry, parameters, topology, catalog, placement, content
+
+
+def build_and_select(standard_world, device, user):
+    registry, parameters, topology, catalog, placement, content = standard_world
+    graph = AdaptationGraphBuilder(catalog, placement).build(
+        content, device, "origin", "client"
+    )
+    return QoSPathSelector.for_user(graph, registry, parameters, user).run()
+
+
+class TestStandardDefaults:
+    def test_direct_delivery_to_capable_client(self, standard_world):
+        device = DeviceProfile("desktop", decoders=["mpeg2-hq"])
+        user = UserProfile(
+            "u", {FRAME_RATE: LinearSatisfaction(0, 30)}, budget=10.0
+        )
+        result = build_and_select(standard_world, device, user)
+        assert result.success
+        assert result.path == ("sender", "receiver")
+
+    def test_two_stage_chain_to_phone(self, standard_world):
+        device = DeviceProfile(
+            "phone", decoders=["h263-mobile"], max_frame_rate=15.0
+        )
+        user = UserProfile(
+            "u", {FRAME_RATE: LinearSatisfaction(0, 30)}, budget=10.0
+        )
+        result = build_and_select(standard_world, device, user)
+        assert result.success
+        assert result.path == ("sender", "to-mpeg4", "to-mobile", "receiver")
+        assert result.delivered_frame_rate <= 15.0
+
+    def test_audio_preference_with_policy(self, standard_world):
+        """The paper's policy example: drop audio before video.
+
+        The last link (2 Mbit/s) cannot carry full video + 256 kbps audio
+        in mpeg2-hq... it can in mpeg4; craft a user who cares about both
+        and check the audio parameter survives in the configuration.
+        """
+        device = DeviceProfile(
+            "phone",
+            decoders=["h263-mobile"],
+            max_frame_rate=15.0,
+            max_audio_kbps=128.0,
+        )
+        user = UserProfile(
+            "u",
+            {
+                FRAME_RATE: LinearSatisfaction(0, 15),
+                AUDIO_QUALITY: StepSatisfaction([(32.0, 0.6), (128.0, 1.0)]),
+            },
+            policies=[
+                AdaptationPolicy(AUDIO_QUALITY, 0),
+                AdaptationPolicy(FRAME_RATE, 1),
+            ],
+            budget=10.0,
+        )
+        result = build_and_select(standard_world, device, user)
+        assert result.success
+        config = result.configuration
+        assert AUDIO_QUALITY in config
+        # The device caps audio at 128; the domain snaps to a real value.
+        assert config[AUDIO_QUALITY] in (0.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+        assert 0.0 < result.satisfaction <= 1.0
+
+    def test_standard_parameter_domains_respected(self, standard_world):
+        device = DeviceProfile(
+            "phone", decoders=["h263-mobile"], max_frame_rate=15.0
+        )
+        user = UserProfile(
+            "u", {FRAME_RATE: LinearSatisfaction(0, 30)}, budget=10.0
+        )
+        result = build_and_select(standard_world, device, user)
+        params = standard_parameters()
+        for name, value in result.configuration.items():
+            domain = params[name].domain
+            # Every delivered value is feasible in its standard domain.
+            assert domain.clamp_down(value) == pytest.approx(value)
+
+    def test_tight_budget_blocks_the_chain(self, standard_world):
+        device = DeviceProfile("phone", decoders=["h263-mobile"])
+        user = UserProfile(
+            "u", {FRAME_RATE: LinearSatisfaction(0, 30)}, budget=0.6
+        )
+        result = build_and_select(standard_world, device, user)
+        # The chain needs 0.5 + 0.3 = 0.8; only the first hop is affordable.
+        assert not result.success

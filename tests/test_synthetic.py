@@ -1,0 +1,112 @@
+"""Tests for the synthetic scenario generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        SyntheticConfig()
+
+    def test_backbone_must_fit(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(n_services=2, backbone_hops=3)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(backbone_hops=0)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(n_formats=3, backbone_hops=3)
+
+    def test_node_minimum(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(n_nodes=2)
+
+    def test_preference_mode_checked(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(preference_mode="psychic")
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario(self):
+        a = generate_scenario(SyntheticConfig(seed=13))
+        b = generate_scenario(SyntheticConfig(seed=13))
+        assert a.catalog.ids() == b.catalog.ids()
+        assert a.placement.as_dict() == b.placement.as_dict()
+        assert sorted(a.registry.names()) == sorted(b.registry.names())
+        assert [l.bandwidth_bps for l in a.topology.links()] == [
+            l.bandwidth_bps for l in b.topology.links()
+        ]
+
+    def test_same_seed_same_selection(self):
+        a = generate_scenario(SyntheticConfig(seed=21)).select()
+        b = generate_scenario(SyntheticConfig(seed=21)).select()
+        assert a.path == b.path
+        assert a.satisfaction == b.satisfaction
+
+    def test_different_seeds_differ(self):
+        a = generate_scenario(SyntheticConfig(seed=1))
+        b = generate_scenario(SyntheticConfig(seed=2))
+        differs = (
+            a.placement.as_dict() != b.placement.as_dict()
+            or [l.bandwidth_bps for l in a.topology.links()]
+            != [l.bandwidth_bps for l in b.topology.links()]
+        )
+        assert differs
+
+
+class TestGeneratedStructure:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_backbone_guarantees_a_path(self, seed):
+        scenario = generate_scenario(SyntheticConfig(seed=seed))
+        result = scenario.select()
+        assert result.success
+
+    def test_requested_sizes_respected(self):
+        config = SyntheticConfig(seed=3, n_services=25, n_formats=10, n_nodes=8)
+        scenario = generate_scenario(config)
+        assert len(scenario.catalog) == 25
+        assert len(scenario.registry) == 10
+        assert len(scenario.topology) == 8
+
+    def test_all_services_placed_on_real_nodes(self):
+        scenario = generate_scenario(SyntheticConfig(seed=4))
+        for service in scenario.catalog:
+            node = scenario.placement.node_of(service.service_id)
+            assert node in scenario.topology
+
+    def test_topology_connected(self):
+        scenario = generate_scenario(SyntheticConfig(seed=5, extra_links=0))
+        nodes = scenario.topology.node_ids()
+        for node in nodes[1:]:
+            assert scenario.topology.widest_path(nodes[0], node) is not None
+
+    def test_device_decodes_backbone_output(self):
+        scenario = generate_scenario(SyntheticConfig(seed=6))
+        final_backbone = scenario.catalog.get(
+            f"S{SyntheticConfig().backbone_hops}"
+        )
+        assert any(
+            scenario.device.can_decode(fmt)
+            for fmt in final_backbone.output_formats
+        )
+
+    def test_rich_mode_has_two_preferences(self):
+        scenario = generate_scenario(
+            SyntheticConfig(seed=7, preference_mode="rich")
+        )
+        assert len(scenario.user.preference_parameters()) == 2
+
+    def test_rich_mode_selection_runs(self):
+        scenario = generate_scenario(
+            SyntheticConfig(seed=8, preference_mode="rich")
+        )
+        result = scenario.select()
+        assert result.success
+        assert 0.0 <= result.satisfaction <= 1.0
+
+    def test_description_mentions_sizes(self):
+        scenario = generate_scenario(SyntheticConfig(seed=9, n_services=11))
+        assert "11 services" in scenario.description

@@ -1,0 +1,104 @@
+"""Unit tests for the selection trace (Table 1's data structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.trace import SelectionRound, SelectionTrace
+
+
+def make_round(number=1, selected="T1", satisfaction=0.76, frame_rate=22.86):
+    return SelectionRound(
+        number=number,
+        considered_set=("sender",),
+        candidate_set=("T1", "T2", "receiver"),
+        selected=selected,
+        path=("sender", selected),
+        frame_rate=frame_rate,
+        satisfaction=satisfaction,
+    )
+
+
+class TestSelectionRound:
+    def test_displayed_frame_rate_rounds_like_the_paper(self):
+        assert make_round(frame_rate=22.86).displayed_frame_rate() == "23"
+        assert make_round(frame_rate=19.75).displayed_frame_rate() == "20"
+        assert make_round(frame_rate=30.0).displayed_frame_rate() == "30"
+
+    def test_displayed_frame_rate_absent(self):
+        assert make_round(frame_rate=None).displayed_frame_rate() == "-"
+
+    def test_displayed_satisfaction_two_decimals(self):
+        assert make_round(satisfaction=0.7646).displayed_satisfaction() == "0.76"
+        assert make_round(satisfaction=0.9967).displayed_satisfaction() == "1.00"
+        assert make_round(satisfaction=0.6583).displayed_satisfaction() == "0.66"
+
+    def test_displayed_path_comma_joined(self):
+        assert make_round().displayed_path() == "sender,T1"
+
+    def test_displayed_sets_braced(self):
+        vt, cs = make_round().displayed_sets()
+        assert vt == "{ sender }"
+        assert cs == "{T1, T2, receiver}"
+
+    def test_as_paper_row_order(self):
+        row = make_round().as_paper_row()
+        assert row[2] == "T1"          # selected
+        assert row[3] == "sender,T1"   # path
+        assert row[4] == "23"          # fps
+        assert row[5] == "0.76"        # satisfaction
+
+
+class TestSelectionTrace:
+    def test_append_enforces_numbering(self):
+        trace = SelectionTrace()
+        trace.append(make_round(number=1))
+        with pytest.raises(ValueError):
+            trace.append(make_round(number=3))
+        trace.append(make_round(number=2, selected="T2"))
+        assert len(trace) == 2
+
+    def test_selected_sequence(self):
+        trace = SelectionTrace()
+        trace.append(make_round(number=1, selected="T10"))
+        trace.append(make_round(number=2, selected="receiver"))
+        assert trace.selected_sequence() == ["T10", "receiver"]
+
+    def test_indexing_and_iteration(self):
+        trace = SelectionTrace()
+        trace.append(make_round(number=1))
+        assert trace[0].number == 1
+        assert [r.number for r in trace] == [1]
+
+    def test_render_contains_headers_and_rows(self):
+        trace = SelectionTrace()
+        trace.append(make_round(number=1))
+        text = trace.render()
+        assert "Round" in text
+        assert "Considered Set (VT)" in text
+        assert "Satisfaction" in text
+        assert "0.76" in text
+
+    def test_render_wraps_long_sets(self):
+        long_cs = tuple(f"T{i}" for i in range(1, 25))
+        trace = SelectionTrace()
+        trace.append(
+            SelectionRound(
+                number=1,
+                considered_set=("sender",),
+                candidate_set=long_cs,
+                selected="T1",
+                path=("sender", "T1"),
+                frame_rate=30.0,
+                satisfaction=1.0,
+            )
+        )
+        text = trace.render(max_set_width=30)
+        assert max(len(line) for line in text.splitlines()) < 200
+        assert "T24" in text
+
+    def test_paper_rows_shape(self, fig6):
+        result = fig6.select()
+        rows = result.trace.paper_rows()
+        assert len(rows) == 15
+        assert all(len(row) == 6 for row in rows)

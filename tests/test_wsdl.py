@@ -1,0 +1,142 @@
+"""Tests for the WSDL-style service description documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import FRAME_RATE, RESOLUTION
+from repro.discovery.wsdl import (
+    catalog_from_wsdl,
+    catalog_to_wsdl,
+    descriptor_from_wsdl,
+    descriptor_to_wsdl,
+)
+from repro.errors import ValidationError
+from repro.services.catalog import ServiceCatalog
+from repro.services.descriptor import ServiceDescriptor, ServiceKind
+from repro.workloads.paper import figure3_scenario, figure6_scenario
+
+
+def full_descriptor() -> ServiceDescriptor:
+    return ServiceDescriptor(
+        service_id="T1",
+        input_formats=("F5", "F6"),
+        output_formats=("F10", "F11"),
+        output_caps={FRAME_RATE: 25.0, RESOLUTION: 76800.0},
+        cost=1.25,
+        cpu_factor=2.5,
+        memory_mb=64.0,
+        provider="acme",
+        description="downscaling transcoder",
+    )
+
+
+class TestDescriptorRoundTrip:
+    def test_full_descriptor_round_trips(self):
+        original = full_descriptor()
+        document = descriptor_to_wsdl(original)
+        rebuilt = descriptor_from_wsdl(document)
+        assert rebuilt == original
+
+    def test_document_is_wsdl_shaped(self):
+        document = descriptor_to_wsdl(full_descriptor())
+        assert document.startswith("<service ")
+        assert '<port direction="input" format="F5"' in document
+        assert '<port direction="output" format="F10"' in document
+        assert "<qos " in document
+        assert '<cap parameter="frame_rate"' in document
+
+    def test_float_precision_survives(self):
+        descriptor = ServiceDescriptor(
+            service_id="X",
+            input_formats=("A",),
+            output_formats=("B",),
+            output_caps={FRAME_RATE: 19.750000019749997},
+            cost=1.0 / 3.0,
+        )
+        rebuilt = descriptor_from_wsdl(descriptor_to_wsdl(descriptor))
+        assert rebuilt.output_caps[FRAME_RATE] == descriptor.output_caps[FRAME_RATE]
+        assert rebuilt.cost == descriptor.cost
+
+    def test_minimal_document_gets_defaults(self):
+        document = (
+            '<service name="S" kind="transcoder">'
+            '<port direction="input" format="A"/>'
+            '<port direction="output" format="B"/>'
+            "</service>"
+        )
+        descriptor = descriptor_from_wsdl(document)
+        assert descriptor.cost == 0.0
+        assert descriptor.cpu_factor == 1.0
+        assert descriptor.memory_mb == 16.0
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ValidationError):
+            descriptor_from_wsdl("<service name='x'")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValidationError):
+            descriptor_from_wsdl("<thing/>")
+
+    def test_bad_direction_rejected(self):
+        document = (
+            '<service name="S" kind="transcoder">'
+            '<port direction="sideways" format="A"/>'
+            '<port direction="output" format="B"/>'
+            "</service>"
+        )
+        with pytest.raises(ValidationError):
+            descriptor_from_wsdl(document)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            descriptor_from_wsdl('<service name="S" kind="oracle"/>')
+
+    def test_port_without_format_rejected(self):
+        document = (
+            '<service name="S" kind="transcoder">'
+            '<port direction="input"/>'
+            '<port direction="output" format="B"/>'
+            "</service>"
+        )
+        with pytest.raises(ValidationError):
+            descriptor_from_wsdl(document)
+
+
+class TestCatalogRoundTrip:
+    def test_figure3_catalog_round_trips(self):
+        catalog = figure3_scenario().catalog
+        rebuilt = catalog_from_wsdl(catalog_to_wsdl(catalog))
+        assert rebuilt.ids() == catalog.ids()
+        for service_id in catalog.ids():
+            assert rebuilt.get(service_id) == catalog.get(service_id)
+
+    def test_figure6_catalog_round_trips(self):
+        catalog = figure6_scenario().catalog
+        rebuilt = catalog_from_wsdl(catalog_to_wsdl(catalog))
+        assert len(rebuilt) == len(catalog)
+        assert rebuilt.get("T7") == catalog.get("T7")
+
+    def test_empty_catalog(self):
+        rebuilt = catalog_from_wsdl(catalog_to_wsdl(ServiceCatalog()))
+        assert len(rebuilt) == 0
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValidationError):
+            catalog_from_wsdl("<services/>")
+
+    def test_rebuilt_catalog_is_functional(self):
+        """A catalog that went through XML still builds the same graph."""
+        scenario = figure6_scenario()
+        rebuilt_catalog = catalog_from_wsdl(catalog_to_wsdl(scenario.catalog))
+        from repro.core.graph import AdaptationGraphBuilder
+
+        graph = AdaptationGraphBuilder(rebuilt_catalog, scenario.placement).build(
+            scenario.content,
+            scenario.device,
+            scenario.sender_node,
+            scenario.receiver_node,
+        )
+        original = scenario.build_graph()
+        assert graph.vertex_ids() == original.vertex_ids()
+        assert graph.edge_count() == original.edge_count()
