@@ -7,6 +7,7 @@ A small operational surface over the library::
     python -m repro.cli synthetic --seed 7 --services 30 [--deliver 10]
     python -m repro.cli analyze figure6        # graph analytics
     python -m repro.cli catalog --seed 7       # dump a catalog as WSDL XML
+    python -m repro.cli plan-batch --sessions 1000 --distinct 32 --compare
 
 (Also installed as the ``repro`` console script.)
 """
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.analysis import GraphAnalysis
@@ -133,6 +135,52 @@ def cmd_solve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_plan_batch(args: argparse.Namespace, out) -> int:
+    from repro.planner import BatchPlanner, PlanCache, synthetic_requests
+    from repro.runtime.metrics import PlannerReport
+
+    scenario = generate_scenario(
+        SyntheticConfig(
+            seed=args.seed,
+            n_services=args.services,
+            n_formats=args.formats,
+            n_nodes=args.nodes,
+        )
+    )
+    cache = PlanCache(max_entries=args.cache_size)
+    planner = BatchPlanner.for_scenario(
+        scenario, cache=cache, max_workers=args.workers
+    )
+    requests = synthetic_requests(scenario, args.sessions, args.distinct)
+
+    started = time.perf_counter()
+    plans = planner.plan_batch(requests)
+    elapsed = time.perf_counter() - started
+
+    stats = cache.stats
+    report = PlannerReport(
+        sessions=len(plans),
+        successes=sum(1 for plan in plans if plan.success),
+        cache_hits=stats.hits,
+        cache_misses=stats.misses,
+        invalidations=stats.invalidations,
+        evictions=stats.evictions,
+        elapsed_s=elapsed,
+    )
+    print(f"scenario: {scenario.name} "
+          f"({args.sessions} sessions, {args.distinct} device classes)", file=out)
+    print(report.summary(), file=out)
+    if args.compare:
+        started = time.perf_counter()
+        planner.plan_batch(requests, use_cache=False)
+        uncached = time.perf_counter() - started
+        speedup = uncached / elapsed if elapsed > 0 else float("inf")
+        print(file=out)
+        print(f"uncached:          {uncached * 1000:.1f} ms", file=out)
+        print(f"speedup:           {speedup:.1f}x", file=out)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace, out) -> int:
     scenario = load_scenario(args.path)
     findings = lint_scenario(scenario)
@@ -198,6 +246,33 @@ def build_parser() -> argparse.ArgumentParser:
     lint = commands.add_parser("lint", help="cross-check a saved scenario")
     lint.add_argument("path", help="scenario JSON file")
 
+    plan_batch = commands.add_parser(
+        "plan-batch",
+        help="plan a synthetic session batch through the plan cache",
+    )
+    plan_batch.add_argument("--seed", type=int, default=7)
+    plan_batch.add_argument("--services", type=int, default=12)
+    plan_batch.add_argument("--formats", type=int, default=8)
+    plan_batch.add_argument("--nodes", type=int, default=8)
+    plan_batch.add_argument(
+        "--sessions", type=int, default=200, help="sessions in the batch"
+    )
+    plan_batch.add_argument(
+        "--distinct", type=int, default=16,
+        help="distinct device classes (distinct fingerprints)",
+    )
+    plan_batch.add_argument(
+        "--workers", type=int, default=None, help="thread-pool size"
+    )
+    plan_batch.add_argument(
+        "--cache-size", type=int, default=1024, help="plan-cache capacity"
+    )
+    plan_batch.add_argument(
+        "--compare",
+        action="store_true",
+        help="also time the uncached baseline and print the speedup",
+    )
+
     catalog = commands.add_parser("catalog", help="dump a catalog as WSDL XML")
     catalog.add_argument("--seed", type=int, default=0)
     catalog.add_argument(
@@ -219,6 +294,7 @@ _HANDLERS = {
     "export": cmd_export,
     "solve": cmd_solve,
     "lint": cmd_lint,
+    "plan-batch": cmd_plan_batch,
 }
 
 

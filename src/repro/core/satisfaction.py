@@ -66,6 +66,11 @@ class SatisfactionFunction:
     Subclasses implement :meth:`_raw` over ``[minimum, ideal]``; this base
     class handles domain extension (values below the minimum give 0.0,
     values above the ideal give 1.0) and output clipping.
+
+    Functions compare equal (and hash equal) when they are the same shape
+    with the same defining parameters — the identity the plan cache keys
+    on.  Subclasses with parameters beyond ``(minimum, ideal)`` contribute
+    them through :meth:`_extra_key`.
     """
 
     def __init__(self, minimum: float, ideal: float) -> None:
@@ -100,6 +105,25 @@ class SatisfactionFunction:
 
     def _raw(self, value: float) -> float:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Identity (plan-cache fingerprints)
+    # ------------------------------------------------------------------
+    def _extra_key(self) -> Tuple:
+        """Defining parameters beyond ``(minimum, ideal)``; override."""
+        return ()
+
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple identifying this function exactly."""
+        return (type(self).__name__, self._minimum, self._ideal) + self._extra_key()
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     # ------------------------------------------------------------------
     # Validation / inspection helpers
@@ -186,6 +210,9 @@ class PiecewiseLinearSatisfaction(SatisfactionFunction):
     def knots(self) -> Tuple[Tuple[float, float], ...]:
         return self._knots
 
+    def _extra_key(self) -> Tuple:
+        return (self._knots,)
+
     def _raw(self, value: float) -> float:
         for (x0, y0), (x1, y1) in zip(self._knots, self._knots[1:]):
             if x0 <= value <= x1:
@@ -222,6 +249,9 @@ class StepSatisfaction(SatisfactionFunction):
         super().__init__(xs[0], xs[-1])
         self._steps = tuple((float(x), float(y)) for x, y in steps)
 
+    def _extra_key(self) -> Tuple:
+        return (self._steps,)
+
     def _raw(self, value: float) -> float:
         satisfaction = 0.0
         for threshold, level in self._steps:
@@ -253,6 +283,9 @@ class LogisticSatisfaction(SatisfactionFunction):
         self._offset = low
         self._scale = high - low
 
+    def _extra_key(self) -> Tuple:
+        return (self._steepness,)
+
     def _logistic(self, t: float) -> float:
         return 1.0 / (1.0 + math.exp(-self._steepness * (t - 0.5)))
 
@@ -273,6 +306,9 @@ class TableSatisfaction(SatisfactionFunction):
         self._inner = PiecewiseLinearSatisfaction(knots)
         super().__init__(self._inner.minimum, self._inner.ideal)
 
+    def _extra_key(self) -> Tuple:
+        return (self._inner.knots,)
+
     def _raw(self, value: float) -> float:
         return self._inner(value)
 
@@ -289,6 +325,18 @@ class Combiner:
 
     def combine(self, satisfactions: Sequence[float]) -> float:
         raise NotImplementedError
+
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple identifying this combiner exactly."""
+        return (type(self).__name__,)
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     def __call__(self, satisfactions: Sequence[float]) -> float:
         if not satisfactions:
@@ -339,6 +387,9 @@ class WeightedHarmonicCombiner(Combiner):
     @property
     def weights(self) -> Tuple[float, ...]:
         return self._weights
+
+    def cache_key(self) -> Tuple:
+        return (type(self).__name__, self._weights)
 
     def combine(self, satisfactions: Sequence[float]) -> float:
         if len(satisfactions) != len(self._weights):

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Tuple
 
 from repro.errors import ValidationError
 
@@ -85,6 +85,27 @@ class MediaFormat:
                 f"compression_ratio must be >= 1, got {self.compression_ratio}"
                 f" for format {self.name!r}"
             )
+
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple identifying this format exactly.
+
+        Used by the plan-cache fingerprint; every field participates so any
+        mutation (even of descriptive attributes) changes the key.
+        """
+        return (
+            self.name,
+            self.media_type.value,
+            self.codec,
+            self.container,
+            self.compression_ratio,
+            tuple(sorted(self.attributes.items())),
+        )
+
+    # The generated dataclass hash would choke on the ``attributes``
+    # mapping; hash the canonical key instead (consistent with field-wise
+    # equality).
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     # ------------------------------------------------------------------
     # Bandwidth model

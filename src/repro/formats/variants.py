@@ -10,7 +10,7 @@ over network links in the runtime pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Tuple
 
 from repro.core.configuration import Configuration
 from repro.errors import ValidationError
@@ -46,6 +46,19 @@ class ContentVariant:
             raise ValidationError(
                 "ContentVariant.configuration must be a Configuration"
             )
+
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple identifying this variant exactly."""
+        return (
+            self.format.cache_key(),
+            tuple(sorted(self.configuration.as_dict().items())),
+            self.title,
+            tuple(sorted(self.metadata.items())),
+        )
+
+    # The ``metadata`` mapping defeats the generated dataclass hash.
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     def required_bandwidth(self) -> float:
         """Bits/second needed to stream this variant as encoded."""

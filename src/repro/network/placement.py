@@ -28,6 +28,7 @@ class ServicePlacement:
     ) -> None:
         self._topology = topology
         self._node_of: Dict[str, str] = {}
+        self._generation = 0
         if assignments:
             for service_id, node_id in assignments.items():
                 self.place(service_id, node_id)
@@ -35,6 +36,11 @@ class ServicePlacement:
     @property
     def topology(self) -> NetworkTopology:
         return self._topology
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped on place / unplace)."""
+        return self._generation
 
     # ------------------------------------------------------------------
     # Mutation
@@ -46,11 +52,13 @@ class ServicePlacement:
                 f"cannot place {service_id!r}: node {node_id!r} not in topology"
             )
         self._node_of[service_id] = node_id
+        self._generation += 1
 
     def unplace(self, service_id: str) -> None:
         if service_id not in self._node_of:
             raise UnknownServiceError(service_id)
         del self._node_of[service_id]
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Lookup

@@ -19,6 +19,7 @@ length).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -46,17 +47,34 @@ class Reservation:
 
 
 class BandwidthLedger:
-    """Tracks per-link reservations over one topology."""
+    """Tracks per-link reservations over one topology.
+
+    The ledger is thread-safe: :meth:`reserve` validates residual capacity
+    and claims every link of the route atomically under one lock, so
+    concurrent admissions can never jointly over-subscribe a link.
+    """
 
     def __init__(self, topology: NetworkTopology) -> None:
         self._topology = topology
         self._reserved: Dict[Tuple[str, str], float] = {}
         self._active: Dict[int, Reservation] = {}
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._generation = 0
 
     @property
     def topology(self) -> NetworkTopology:
         return self._topology
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped on reserve / release).
+
+        Plan fingerprints embed this counter: a plan computed before a
+        bandwidth reservation is never served from cache afterwards.
+        """
+        with self._lock:
+            return self._generation
 
     # ------------------------------------------------------------------
     # Queries
@@ -64,7 +82,8 @@ class BandwidthLedger:
     def reserved_on(self, a: str, b: str) -> float:
         """Bits/second currently reserved on one link."""
         self._topology.get_link(a, b)  # validate the link exists
-        return self._reserved.get(_canonical(a, b), 0.0)
+        with self._lock:
+            return self._reserved.get(_canonical(a, b), 0.0)
 
     def residual(self, a: str, b: str) -> float:
         """Capacity remaining on one link."""
@@ -72,37 +91,44 @@ class BandwidthLedger:
         return max(0.0, link.bandwidth_bps - self.reserved_on(a, b))
 
     def active_reservations(self) -> List[Reservation]:
-        return list(self._active.values())
+        with self._lock:
+            return list(self._active.values())
 
     def total_reserved(self) -> float:
         """Sum of reservation demands (bps x links), an accounting aid."""
-        return sum(
-            reservation.bandwidth_bps * len(reservation.links())
-            for reservation in self._active.values()
-        )
+        with self._lock:
+            return sum(
+                reservation.bandwidth_bps * len(reservation.links())
+                for reservation in self._active.values()
+            )
 
     def residual_topology(self) -> NetworkTopology:
         """A topology whose link capacities are the current residuals.
 
         Planning the *next* session against this topology makes earlier
         admissions invisible except through the capacity they consumed.
+        The snapshot is taken atomically: all residuals reflect one
+        consistent ledger state even under concurrent reservations.
         """
         residual = NetworkTopology()
         for node in self._topology.nodes():
             residual.add_node(node)
-        for link in self._topology.links():
-            residual.add_link(
-                Link(
-                    a=link.a,
-                    b=link.b,
-                    bandwidth_bps=max(
-                        0.0, link.bandwidth_bps - self.reserved_on(link.a, link.b)
-                    ),
-                    delay_ms=link.delay_ms,
-                    loss_rate=link.loss_rate,
-                    cost=link.cost,
+        with self._lock:
+            for link in self._topology.links():
+                residual.add_link(
+                    Link(
+                        a=link.a,
+                        b=link.b,
+                        bandwidth_bps=max(
+                            0.0,
+                            link.bandwidth_bps
+                            - self._reserved.get(_canonical(link.a, link.b), 0.0),
+                        ),
+                        delay_ms=link.delay_ms,
+                        loss_rate=link.loss_rate,
+                        cost=link.cost,
+                    )
                 )
-            )
         return residual
 
     # ------------------------------------------------------------------
@@ -128,37 +154,42 @@ class BandwidthLedger:
             raise ValidationError("route must contain at least one node")
         pairs = list(zip(route, route[1:]))
         slack = 1.0 + 1e-9  # absorb float noise from exact-fit planning
-        for a, b in pairs:
-            if self.residual(a, b) * slack < bandwidth_bps:
-                raise ValidationError(
-                    f"link {a}--{b} has {self.residual(a, b):.0f} bps "
-                    f"residual, cannot reserve {bandwidth_bps:.0f}"
-                )
-        for a, b in pairs:
-            key = _canonical(a, b)
-            self._reserved[key] = self._reserved.get(key, 0.0) + bandwidth_bps
-        reservation = Reservation(
-            reservation_id=next(self._ids),
-            route=tuple(route),
-            bandwidth_bps=bandwidth_bps,
-            label=label,
-        )
-        self._active[reservation.reservation_id] = reservation
-        return reservation
+        with self._lock:
+            for a, b in pairs:
+                if self.residual(a, b) * slack < bandwidth_bps:
+                    raise ValidationError(
+                        f"link {a}--{b} has {self.residual(a, b):.0f} bps "
+                        f"residual, cannot reserve {bandwidth_bps:.0f}"
+                    )
+            for a, b in pairs:
+                key = _canonical(a, b)
+                self._reserved[key] = self._reserved.get(key, 0.0) + bandwidth_bps
+            reservation = Reservation(
+                reservation_id=next(self._ids),
+                route=tuple(route),
+                bandwidth_bps=bandwidth_bps,
+                label=label,
+            )
+            self._active[reservation.reservation_id] = reservation
+            self._generation += 1
+            return reservation
 
     def release(self, reservation: Reservation) -> None:
         """Return a reservation's bandwidth to the links."""
-        if reservation.reservation_id not in self._active:
-            raise ValidationError(
-                f"reservation {reservation.reservation_id} is not active"
-            )
-        del self._active[reservation.reservation_id]
-        for key in reservation.links():
-            remaining = self._reserved.get(key, 0.0) - reservation.bandwidth_bps
-            if remaining <= 1e-9:
-                self._reserved.pop(key, None)
-            else:
-                self._reserved[key] = remaining
+        with self._lock:
+            if reservation.reservation_id not in self._active:
+                raise ValidationError(
+                    f"reservation {reservation.reservation_id} is not active"
+                )
+            del self._active[reservation.reservation_id]
+            for key in reservation.links():
+                remaining = self._reserved.get(key, 0.0) - reservation.bandwidth_bps
+                if remaining <= 1e-9:
+                    self._reserved.pop(key, None)
+                else:
+                    self._reserved[key] = remaining
+            self._generation += 1
 
     def __len__(self) -> int:
-        return len(self._active)
+        with self._lock:
+            return len(self._active)

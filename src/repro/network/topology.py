@@ -107,6 +107,16 @@ class NetworkTopology:
         self._nodes: Dict[str, NetworkNode] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._adjacency: Dict[str, List[str]] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped on node/link additions).
+
+        Plan fingerprints embed this counter so a cached plan can never
+        outlive the topology it was computed on.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Construction
@@ -117,6 +127,7 @@ class NetworkTopology:
             raise ValidationError(f"node {node.node_id!r} already exists")
         self._nodes[node.node_id] = node
         self._adjacency.setdefault(node.node_id, [])
+        self._generation += 1
         return node
 
     def node(
@@ -138,6 +149,7 @@ class NetworkTopology:
         self._links[key] = link
         self._adjacency[link.a].append(link.b)
         self._adjacency[link.b].append(link.a)
+        self._generation += 1
         return link
 
     def link(

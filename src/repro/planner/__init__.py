@@ -1,0 +1,27 @@
+"""Plan caching and concurrent batch planning.
+
+``fingerprint`` defines the canonical cache key, ``cache`` the thread-safe
+single-flight LRU store, ``batch`` the concurrent planner, and ``workload``
+the request-stream generators the benchmarks and stress tests share.
+"""
+
+from repro.planner.fingerprint import (
+    GenerationStamp,
+    PlanFingerprint,
+    fingerprint_request,
+)
+from repro.planner.cache import CacheStats, PlanCache
+from repro.planner.batch import BatchPlanner, PlanRequest
+from repro.planner.workload import device_variants, synthetic_requests
+
+__all__ = [
+    "GenerationStamp",
+    "PlanFingerprint",
+    "fingerprint_request",
+    "CacheStats",
+    "PlanCache",
+    "BatchPlanner",
+    "PlanRequest",
+    "device_variants",
+    "synthetic_requests",
+]

@@ -1,0 +1,190 @@
+"""Concurrent batch planning over a shared plan cache.
+
+The paper sizes its architecture for a proxy serving *many* clients at
+once; planning every arriving session from scratch wastes exactly the work
+the cache in :mod:`repro.planner.cache` memoizes.  :class:`BatchPlanner`
+pairs the two:
+
+- :meth:`BatchPlanner.plan` fingerprints one request against the current
+  infrastructure generations and serves it from the cache (single-flight
+  on misses);
+- :meth:`BatchPlanner.plan_batch` fans a whole arrival batch out over a
+  :class:`~concurrent.futures.ThreadPoolExecutor`, preserving input order
+  in the returned plans.
+
+Planning here is read-only with respect to the infrastructure — admission
+(reserving bandwidth) stays with
+:class:`~repro.runtime.admission.AdmissionController`, which bumps the
+ledger generation and thereby invalidates every cached plan that predates
+the reservation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.core.parameters import ParameterSet
+from repro.core.selection import TieBreakPolicy
+from repro.formats.registry import FormatRegistry
+from repro.network.placement import ServicePlacement
+from repro.network.reservations import BandwidthLedger
+from repro.planner.cache import PlanCache
+from repro.planner.fingerprint import (
+    GenerationStamp,
+    PlanFingerprint,
+    fingerprint_request,
+)
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import UserProfile
+from repro.runtime.session import AdaptationSession, SessionPlan
+from repro.services.catalog import ServiceCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.workloads.scenario import Scenario
+
+__all__ = ["PlanRequest", "BatchPlanner"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One session to plan: profiles plus endpoints."""
+
+    content: ContentProfile
+    device: DeviceProfile
+    user: UserProfile
+    sender_node: str
+    receiver_node: str
+    context: Optional[ContextProfile] = None
+    peer: Optional[str] = None
+
+
+class BatchPlanner:
+    """Plans many sessions concurrently through one shared cache."""
+
+    def __init__(
+        self,
+        registry: FormatRegistry,
+        parameters: ParameterSet,
+        catalog: ServiceCatalog,
+        placement: ServicePlacement,
+        cache: Optional[PlanCache] = None,
+        ledger: Optional[BandwidthLedger] = None,
+        max_workers: Optional[int] = None,
+        tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
+        prune: bool = True,
+        record_trace: bool = False,
+    ) -> None:
+        self._registry = registry
+        self._parameters = parameters
+        self._catalog = catalog
+        self._placement = placement
+        self._cache = cache if cache is not None else PlanCache()
+        self._ledger = ledger
+        self._max_workers = max_workers
+        self._tie_break = tie_break
+        self._prune = prune
+        self._record_trace = record_trace
+
+    @classmethod
+    def for_scenario(cls, scenario: "Scenario", **kwargs) -> "BatchPlanner":
+        """A planner over a scenario's registry/parameters/catalog/placement."""
+        return cls(
+            registry=scenario.registry,
+            parameters=scenario.parameters,
+            catalog=scenario.catalog,
+            placement=scenario.placement,
+            **kwargs,
+        )
+
+    @property
+    def cache(self) -> PlanCache:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Single-request planning
+    # ------------------------------------------------------------------
+    def current_stamp(self) -> GenerationStamp:
+        """The infrastructure generations a plan computed now would carry."""
+        return GenerationStamp(
+            catalog=self._catalog.generation,
+            topology=self._placement.topology.generation,
+            placement=self._placement.generation,
+            reservations=(
+                self._ledger.generation if self._ledger is not None else 0
+            ),
+        )
+
+    def fingerprint(self, request: PlanRequest) -> PlanFingerprint:
+        return fingerprint_request(
+            user=request.user,
+            content=request.content,
+            device=request.device,
+            sender_node=request.sender_node,
+            receiver_node=request.receiver_node,
+            catalog=self._catalog,
+            placement=self._placement,
+            context=request.context,
+            ledger=self._ledger,
+            peer=request.peer,
+            tie_break=self._tie_break,
+            prune=self._prune,
+            record_trace=self._record_trace,
+        )
+
+    def plan_uncached(self, request: PlanRequest) -> SessionPlan:
+        """Plan one session from scratch (no cache lookup or insert)."""
+        session = AdaptationSession(
+            registry=self._registry,
+            parameters=self._parameters,
+            catalog=self._catalog,
+            placement=self._placement,
+            content=request.content,
+            device=request.device,
+            user=request.user,
+            sender_node=request.sender_node,
+            receiver_node=request.receiver_node,
+            context=request.context,
+            tie_break=self._tie_break,
+            prune=self._prune,
+            record_trace=self._record_trace,
+        )
+        return session.plan(peer=request.peer)
+
+    def plan(self, request: PlanRequest) -> SessionPlan:
+        """Plan one session through the cache (single-flight on miss)."""
+        fingerprint = self.fingerprint(request)
+        return self._cache.get_or_compute(
+            fingerprint, lambda: self.plan_uncached(request)
+        )
+
+    # ------------------------------------------------------------------
+    # Batch planning
+    # ------------------------------------------------------------------
+    def plan_batch(
+        self,
+        requests: Sequence[PlanRequest],
+        use_cache: bool = True,
+    ) -> List[SessionPlan]:
+        """Plan a batch concurrently; plans come back in request order.
+
+        Stale cache entries (older infrastructure generations) are purged
+        up front, so the batch starts from a consistent snapshot.  With
+        ``use_cache=False`` every request is planned from scratch — the
+        uncached baseline the benchmark compares against.
+        """
+        if not requests:
+            return []
+        if use_cache:
+            self._cache.purge_stale(self.current_stamp())
+            planner = self.plan
+        else:
+            planner = self.plan_uncached
+        workers = self._max_workers or min(8, len(requests))
+        if workers <= 1:
+            return [planner(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(planner, requests))

@@ -1,0 +1,204 @@
+"""A thread-safe LRU plan cache with single-flight computation.
+
+The cache memoizes fully planned sessions by
+:class:`~repro.planner.fingerprint.PlanFingerprint`.  Three properties
+matter for serving heavy concurrent traffic:
+
+- **LRU bound** — at most ``max_entries`` plans are retained; the least
+  recently used entry is evicted first.
+- **Single-flight** — when many threads miss on the same fingerprint
+  simultaneously, exactly one computes the plan; the rest wait on an event
+  and then read the freshly inserted entry.  This removes the thundering
+  herd that would otherwise recompute one popular plan N times.
+- **Generation-based invalidation** — fingerprints embed the generation
+  counters of the catalog / topology / placement / ledger, so a stale plan
+  is structurally unreachable (its key can never be produced again).
+  :meth:`purge_stale` additionally drops the dead entries eagerly and
+  counts them as invalidations.
+
+All statistics are maintained under the same lock as the entry map, so a
+snapshot taken via :attr:`stats` is internally consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.planner.fingerprint import GenerationStamp, PlanFingerprint
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One consistent snapshot of cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none ran)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PlanCache:
+    """LRU cache of planned sessions keyed by request fingerprint."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValidationError("PlanCache needs max_entries >= 1")
+        self._max_entries = max_entries
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[PlanFingerprint, Any]" = OrderedDict()
+        self._inflight: Dict[PlanFingerprint, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: PlanFingerprint) -> Optional[Any]:
+        """The cached plan, or ``None`` on a miss (counted either way)."""
+        with self._lock:
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+                self._hits += 1
+                return self._entries[fingerprint]
+            self._misses += 1
+            return None
+
+    def put(self, fingerprint: PlanFingerprint, plan: Any) -> None:
+        """Insert (or refresh) one entry, evicting LRU overflow."""
+        with self._lock:
+            self._entries[fingerprint] = plan
+            self._entries.move_to_end(fingerprint)
+            self._evict_overflow()
+
+    def get_or_compute(
+        self,
+        fingerprint: PlanFingerprint,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached plan, computing it at most once per miss.
+
+        Concurrent callers with the same fingerprint coalesce: one leader
+        runs ``compute()`` while followers wait and then read the inserted
+        entry.  A leader failure releases the followers, and the first of
+        them retries as the new leader (the exception propagates only to
+        the leader that hit it).
+        """
+        while True:
+            with self._lock:
+                if fingerprint in self._entries:
+                    self._entries.move_to_end(fingerprint)
+                    self._hits += 1
+                    return self._entries[fingerprint]
+                event = self._inflight.get(fingerprint)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[fingerprint] = event
+                    self._misses += 1
+                    is_leader = True
+                else:
+                    is_leader = False
+            if not is_leader:
+                event.wait()
+                continue  # Re-check: the leader inserted (or failed).
+            try:
+                plan = compute()
+            except BaseException:
+                with self._lock:
+                    del self._inflight[fingerprint]
+                event.set()
+                raise
+            with self._lock:
+                self._entries[fingerprint] = plan
+                self._entries.move_to_end(fingerprint)
+                del self._inflight[fingerprint]
+                self._evict_overflow()
+            event.set()
+            return plan
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def purge_stale(self, current: GenerationStamp) -> int:
+        """Drop entries not computed at ``current`` generations.
+
+        Stale entries can never be hit again (their fingerprints embed the
+        old counters); purging reclaims their memory eagerly and returns
+        how many were dropped.
+        """
+        with self._lock:
+            stale: List[PlanFingerprint] = [
+                fingerprint
+                for fingerprint in self._entries
+                if fingerprint.generations != current
+            ]
+            for fingerprint in stale:
+                del self._entries[fingerprint]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were invalidated."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations += dropped
+            return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def _evict_overflow(self) -> None:
+        # Caller holds the lock.
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats
+        return (
+            f"PlanCache(entries={snapshot.entries}/{self._max_entries}, "
+            f"hits={snapshot.hits}, misses={snapshot.misses})"
+        )

@@ -1,0 +1,178 @@
+"""Canonical request fingerprints: the plan-cache key.
+
+A fingerprint identifies everything the planning pipeline (graph
+construction → pruning → selection) consumes for one session:
+
+- the four request-side profiles (user, content, device, and optionally
+  context) via their ``cache_key()`` tuples;
+- the endpoints (sender / receiver node) and planner knobs (peer,
+  tie-break policy, pruning, trace recording);
+- the *shared infrastructure state* via content keys plus monotonic
+  generation counters of the service catalog, the topology, the placement,
+  and (when planning against reserved capacity) the bandwidth ledger.
+
+Two requests with equal fingerprints are guaranteed to produce identical
+plans, because planning is deterministic in exactly these inputs.  Any
+catalog mutation (``add`` / ``remove``), topology growth, re-placement, or
+bandwidth reservation bumps a generation counter and therefore changes
+every subsequent fingerprint — a plan computed before a reservation can
+never be served stale.
+
+The digest is a SHA-256 over the canonical ``repr`` of the combined key
+tuple (all primitives, so the repr is deterministic), keeping the cache key
+small and cheap to hash regardless of profile size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.selection import TieBreakPolicy
+from repro.network.placement import ServicePlacement
+from repro.network.reservations import BandwidthLedger
+from repro.network.topology import NetworkTopology
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import UserProfile
+from repro.services.catalog import ServiceCatalog
+
+__all__ = ["GenerationStamp", "PlanFingerprint", "fingerprint_request"]
+
+
+@dataclass(frozen=True)
+class GenerationStamp:
+    """The infrastructure generation counters a plan was computed at."""
+
+    catalog: int
+    topology: int
+    placement: int
+    reservations: int
+
+
+@dataclass(frozen=True)
+class PlanFingerprint:
+    """A stable, hashable identity for one planning request.
+
+    ``digest`` covers the full canonical key (profiles + endpoints +
+    infrastructure content + generations); ``generations`` is carried
+    alongside so caches can purge entries wholesale when the world moves
+    on (see :meth:`repro.planner.cache.PlanCache.purge_stale`).
+    """
+
+    digest: str
+    generations: GenerationStamp
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.digest[:12]
+
+
+# Content keys of the shared infrastructure are memoized per (object,
+# generation): under a batch of N requests against one unchanged world the
+# expensive tuple construction runs once, not N times.  Generation bumps
+# naturally invalidate the memo; WeakKeyDictionary keeps dead worlds from
+# pinning memory.
+_KEY_MEMO: "weakref.WeakKeyDictionary[object, Tuple[int, Tuple]]" = (
+    weakref.WeakKeyDictionary()
+)
+_KEY_MEMO_LOCK = threading.Lock()
+
+
+def _memoized_key(obj, generation: int, build: Callable[[], Tuple]) -> Tuple:
+    with _KEY_MEMO_LOCK:
+        entry = _KEY_MEMO.get(obj)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
+    key = build()
+    with _KEY_MEMO_LOCK:
+        _KEY_MEMO[obj] = (generation, key)
+    return key
+
+
+def _catalog_key(catalog: ServiceCatalog) -> Tuple:
+    return _memoized_key(
+        catalog,
+        catalog.generation,
+        lambda: tuple(
+            catalog.get(service_id).cache_key() for service_id in catalog.ids()
+        ),
+    )
+
+
+def _topology_key(topology: NetworkTopology) -> Tuple:
+    def build() -> Tuple:
+        nodes = tuple(
+            (node.node_id, node.cpu_mips, node.memory_mb)
+            for node in sorted(topology.nodes(), key=lambda n: n.node_id)
+        )
+        links = tuple(
+            (link.a, link.b, link.bandwidth_bps, link.delay_ms, link.loss_rate, link.cost)
+            for link in sorted(topology.links(), key=lambda l: (l.a, l.b))
+        )
+        return (nodes, links)
+
+    return _memoized_key(topology, topology.generation, build)
+
+
+def _placement_key(placement: ServicePlacement) -> Tuple:
+    return _memoized_key(
+        placement,
+        placement.generation,
+        lambda: tuple(sorted(placement.as_dict().items())),
+    )
+
+
+def fingerprint_request(
+    *,
+    user: UserProfile,
+    content: ContentProfile,
+    device: DeviceProfile,
+    sender_node: str,
+    receiver_node: str,
+    catalog: ServiceCatalog,
+    placement: ServicePlacement,
+    topology: Optional[NetworkTopology] = None,
+    context: Optional[ContextProfile] = None,
+    ledger: Optional[BandwidthLedger] = None,
+    peer: Optional[str] = None,
+    tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
+    prune: bool = True,
+    record_trace: bool = False,
+) -> PlanFingerprint:
+    """Fingerprint one planning request against the current world state.
+
+    ``topology`` defaults to ``placement.topology``.  Pass the ``ledger``
+    whenever planning runs against residual capacity (admission control):
+    its generation then participates in the key, so any reserve / release
+    forces a recompute.
+    """
+    if topology is None:
+        topology = placement.topology
+    stamp = GenerationStamp(
+        catalog=catalog.generation,
+        topology=topology.generation,
+        placement=placement.generation,
+        reservations=ledger.generation if ledger is not None else 0,
+    )
+    key = (
+        user.cache_key(),
+        content.cache_key(),
+        device.cache_key(),
+        context.cache_key() if context is not None else None,
+        sender_node,
+        receiver_node,
+        peer,
+        tie_break.value,
+        prune,
+        record_trace,
+        _catalog_key(catalog),
+        _topology_key(topology),
+        _placement_key(placement),
+        stamp,
+    )
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return PlanFingerprint(digest=digest, generations=stamp)

@@ -10,7 +10,7 @@ format".
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
 from repro.formats.variants import ContentVariant
@@ -70,6 +70,27 @@ class ContentProfile:
 
     def has_format(self, format_name: str) -> bool:
         return format_name in self._variants
+
+    # ------------------------------------------------------------------
+    # Identity (plan-cache fingerprints)
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple covering every field of the profile."""
+        return (
+            self.content_id,
+            self.title,
+            self.author,
+            tuple(sorted(self.metadata.items())),
+            tuple(v.cache_key() for v in self._variants.values()),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContentProfile):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     # ------------------------------------------------------------------
     # Graph integration

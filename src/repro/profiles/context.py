@@ -19,7 +19,7 @@ effects, the way a real adaptation engine would:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.parameters import AUDIO_QUALITY, COLOR_DEPTH, FRAME_RATE
 from repro.errors import ValidationError
@@ -61,6 +61,29 @@ class ContextProfile:
         self.local_time_hour = local_time_hour
         self.organizational_role = organizational_role
         self.attributes: Dict[str, str] = dict(attributes or {})
+
+    # ------------------------------------------------------------------
+    # Identity (plan-cache fingerprints)
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple covering every field of the profile."""
+        return (
+            self.location,
+            self.activity,
+            self.noise_level_db,
+            self.illumination_lux,
+            self.local_time_hour,
+            self.organizational_role,
+            tuple(sorted(self.attributes.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContextProfile):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     # ------------------------------------------------------------------
     # Algorithm-facing derivations

@@ -15,7 +15,7 @@ stream).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.parameters import AUDIO_QUALITY, COLOR_DEPTH, FRAME_RATE, RESOLUTION
 from repro.errors import ValidationError
@@ -70,6 +70,33 @@ class DeviceProfile:
         self.vendor = vendor
         self.model = model
         self.attributes: Dict[str, str] = dict(attributes or {})
+
+    # ------------------------------------------------------------------
+    # Identity (plan-cache fingerprints)
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple covering every field of the profile."""
+        return (
+            self.device_id,
+            tuple(self.decoders),
+            self.max_resolution,
+            self.max_color_depth,
+            self.max_frame_rate,
+            self.max_audio_kbps,
+            self.cpu_mips,
+            self.memory_mb,
+            self.vendor,
+            self.model,
+            tuple(sorted(self.attributes.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeviceProfile):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     # ------------------------------------------------------------------
     # Derived views

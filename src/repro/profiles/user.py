@@ -24,7 +24,7 @@ Concretely a :class:`UserProfile` couples:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.satisfaction import CombinedSatisfaction, Combiner, HarmonicCombiner, SatisfactionFunction
 from repro.errors import ValidationError
@@ -122,6 +122,44 @@ class UserProfile:
     @property
     def policies(self) -> Sequence[AdaptationPolicy]:
         return self._policies
+
+    # ------------------------------------------------------------------
+    # Identity (plan-cache fingerprints)
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple covering every preference-bearing field.
+
+        Two profiles with equal keys produce identical plans in identical
+        scenarios; any mutated field changes the key.
+        """
+        return (
+            self.user_id,
+            self.display_name,
+            self.budget,
+            self.max_delay_ms,
+            self._combiner.cache_key(),
+            tuple(sorted(
+                (name, fn.cache_key()) for name, fn in self._functions.items()
+            )),
+            self._policies,
+            tuple(sorted(
+                (
+                    peer,
+                    tuple(sorted(
+                        (name, fn.cache_key()) for name, fn in functions.items()
+                    )),
+                )
+                for peer, functions in self._peer_overrides.items()
+            )),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UserProfile):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     def degrade_order(self, parameters: Sequence[str]) -> List[str]:
         """Order ``parameters`` by sacrifice preference, first-to-degrade

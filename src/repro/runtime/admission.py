@@ -18,6 +18,7 @@ behaviour the E16 bench charts.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -59,6 +60,7 @@ class AdmissionController:
         catalog: ServiceCatalog,
         placement: ServicePlacement,
         min_satisfaction: float = 0.0,
+        cache=None,
     ) -> None:
         if not 0.0 <= min_satisfaction <= 1.0:
             raise ValidationError("min_satisfaction must lie in [0, 1]")
@@ -68,15 +70,18 @@ class AdmissionController:
         self._base_placement = placement
         self._ledger = BandwidthLedger(placement.topology)
         self._min_satisfaction = min_satisfaction
+        self._cache = cache
         self._sessions: Dict[int, AdmittedSession] = {}
         self._ids = itertools.count(1)
+        self._lock = threading.Lock()
 
     @property
     def ledger(self) -> BandwidthLedger:
         return self._ledger
 
     def active_sessions(self) -> List[AdmittedSession]:
-        return list(self._sessions.values())
+        with self._lock:
+            return list(self._sessions.values())
 
     # ------------------------------------------------------------------
     # Admission
@@ -95,22 +100,49 @@ class AdmissionController:
         the achievable satisfaction falls below the operator's floor.
         Admission reserves the stream's bandwidth on every link of every
         hop's route; rejection reserves nothing.
+
+        When the controller carries a plan cache, the planning phase is
+        memoized under a fingerprint that embeds the ledger generation:
+        identical requests against an unchanged reservation table reuse
+        the cached selection, and any reserve/release in between forces a
+        recompute against fresh residuals.
         """
         residual = self._ledger.residual_topology()
         placement = ServicePlacement(residual, self._base_placement.as_dict())
-        graph = AdaptationGraphBuilder(self._catalog, placement).build(
-            content=content,
-            device=device,
-            sender_node=sender_node,
-            receiver_node=receiver_node,
-        )
-        result = QoSPathSelector.for_user(
-            graph,
-            self._registry,
-            self._parameters,
-            user,
-            record_trace=False,
-        ).run()
+
+        def compute() -> SelectionResult:
+            graph = AdaptationGraphBuilder(self._catalog, placement).build(
+                content=content,
+                device=device,
+                sender_node=sender_node,
+                receiver_node=receiver_node,
+            )
+            return QoSPathSelector.for_user(
+                graph,
+                self._registry,
+                self._parameters,
+                user,
+                record_trace=False,
+            ).run()
+
+        if self._cache is None:
+            result = compute()
+        else:
+            # Imported lazily: repro.planner.batch imports runtime modules.
+            from repro.planner.fingerprint import fingerprint_request
+
+            fingerprint = fingerprint_request(
+                user=user,
+                content=content,
+                device=device,
+                sender_node=sender_node,
+                receiver_node=receiver_node,
+                catalog=self._catalog,
+                placement=self._base_placement,
+                ledger=self._ledger,
+                record_trace=False,
+            )
+            result = self._cache.get_or_compute(fingerprint, compute)
         if not result.success:
             return None
         if result.satisfaction < self._min_satisfaction:
@@ -121,12 +153,13 @@ class AdmissionController:
         )
         if reservations is None:
             return None
-        session = AdmittedSession(
-            session_id=next(self._ids),
-            result=result,
-            reservations=tuple(reservations),
-        )
-        self._sessions[session.session_id] = session
+        with self._lock:
+            session = AdmittedSession(
+                session_id=next(self._ids),
+                result=result,
+                reservations=tuple(reservations),
+            )
+            self._sessions[session.session_id] = session
         return session
 
     def _reserve_chain(
@@ -203,7 +236,8 @@ class AdmissionController:
     # ------------------------------------------------------------------
     def teardown(self, session_id: int) -> None:
         """Release a session's reservations."""
-        session = self._sessions.pop(session_id, None)
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
         if session is None:
             raise ValidationError(f"no active session {session_id}")
         for reservation in session.reservations:
@@ -211,7 +245,8 @@ class AdmissionController:
 
     def teardown_all(self) -> int:
         """Release everything; returns how many sessions ended."""
-        count = len(self._sessions)
-        for session_id in list(self._sessions):
+        with self._lock:
+            session_ids = list(self._sessions)
+        for session_id in session_ids:
             self.teardown(session_id)
-        return count
+        return len(session_ids)

@@ -6,6 +6,10 @@ sustained throughput, frame statistics under loss and bandwidth
 fluctuation, and the money spent.  Produced by
 :class:`~repro.runtime.pipeline.DeliveryPipeline`; consumed by examples,
 integration tests, and the E12 bench.
+
+A :class:`PlannerReport` is the planning-side counterpart: one batch-plan
+run's throughput plus the cache counters behind it.  Produced by the
+``plan-batch`` CLI command and the batch-planner bench.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from typing import Tuple
 
 from repro.core.configuration import Configuration
 
-__all__ = ["DeliveryReport"]
+__all__ = ["DeliveryReport", "PlannerReport"]
 
 
 @dataclass(frozen=True)
@@ -66,5 +70,55 @@ class DeliveryReport:
             f"delivered ({self.loss_fraction * 100:.1f}% lost)",
             f"total cost:        {self.total_cost:.2f}",
             f"cpu work:          {self.cpu_mips_seconds:.1f} MIPS*s",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlannerReport:
+    """Aggregate outcome of one batch-planning run."""
+
+    #: Sessions planned in the batch.
+    sessions: int
+    #: Plans that came out feasible (selection succeeded).
+    successes: int
+    #: Cache lookups served from memory.
+    cache_hits: int
+    #: Cache lookups that had to compute.
+    cache_misses: int
+    #: Entries dropped because the infrastructure moved on.
+    invalidations: int
+    #: Entries dropped by the LRU bound.
+    evictions: int
+    #: Wall-clock time for the batch (seconds).
+    elapsed_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none ran)."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Sessions planned per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.sessions / self.elapsed_s
+
+    def summary(self) -> str:
+        """A compact human-readable report."""
+        lines = [
+            f"sessions:          {self.sessions} "
+            f"({self.successes} feasible)",
+            f"elapsed:           {self.elapsed_s * 1000:.1f} ms "
+            f"({self.throughput_per_s:.0f} plans/s)",
+            f"cache hits:        {self.cache_hits} "
+            f"({self.hit_rate * 100:.1f}% hit rate)",
+            f"cache misses:      {self.cache_misses}",
+            f"invalidations:     {self.invalidations}",
+            f"evictions:         {self.evictions}",
         ]
         return "\n".join(lines)

@@ -37,8 +37,19 @@ class ServiceCatalog:
 
     def __init__(self, descriptors: Iterable[ServiceDescriptor] = ()) -> None:
         self._services: Dict[str, ServiceDescriptor] = {}
+        self._generation = 0
         for descriptor in descriptors:
             self.add(descriptor)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every successful :meth:`add` / :meth:`remove`.  Plan
+        fingerprints embed this counter, so any catalog change invalidates
+        every cached plan computed against the old contents.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Mutation
@@ -52,14 +63,17 @@ class ServiceCatalog:
                 f"pass replace=True to overwrite"
             )
         self._services[descriptor.service_id] = descriptor
+        self._generation += 1
         return descriptor
 
     def remove(self, service_id: str) -> ServiceDescriptor:
         """Remove and return a descriptor; unknown ids raise."""
         try:
-            return self._services.pop(service_id)
+            descriptor = self._services.pop(service_id)
         except KeyError:
             raise UnknownServiceError(service_id) from None
+        self._generation += 1
+        return descriptor
 
     # ------------------------------------------------------------------
     # Lookup

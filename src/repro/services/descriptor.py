@@ -120,6 +120,25 @@ class ServiceDescriptor:
                     f"{self.service_id}: cap for {name!r} must be >= 0, got {value}"
                 )
 
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple identifying this descriptor exactly."""
+        return (
+            self.service_id,
+            self.input_formats,
+            self.output_formats,
+            tuple(sorted(self.output_caps.items())),
+            self.cost,
+            self.cpu_factor,
+            self.memory_mb,
+            self.kind.value,
+            self.provider,
+            self.description,
+        )
+
+    # The ``output_caps`` mapping defeats the generated dataclass hash.
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

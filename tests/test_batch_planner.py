@@ -1,0 +1,183 @@
+"""Integration tests: batch planner, runtime wiring, and the CLI."""
+
+from __future__ import annotations
+
+import io
+
+from repro.cli import main
+from repro.planner import BatchPlanner, PlanCache, synthetic_requests
+from repro.runtime.admission import AdmissionController
+from repro.runtime.metrics import PlannerReport
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+
+def _scenario(seed=7):
+    return generate_scenario(
+        SyntheticConfig(seed=seed, n_services=12, n_formats=8, n_nodes=8)
+    )
+
+
+# ----------------------------------------------------------------------
+# BatchPlanner
+# ----------------------------------------------------------------------
+
+
+def test_batch_counts_misses_once_per_device_class():
+    scenario = _scenario()
+    planner = BatchPlanner.for_scenario(scenario, cache=PlanCache())
+    requests = synthetic_requests(scenario, 60, 12)
+    plans = planner.plan_batch(requests)
+    assert len(plans) == 60
+    assert all(plan.success for plan in plans)
+    stats = planner.cache.stats
+    assert stats.misses == 12
+    assert stats.hits == 48
+
+
+def test_batch_preserves_request_order():
+    scenario = _scenario()
+    planner = BatchPlanner.for_scenario(scenario, cache=PlanCache())
+    requests = synthetic_requests(scenario, 30, 6)
+    plans = planner.plan_batch(requests)
+    for i, plan in enumerate(plans):
+        # Round-robin workload: request i uses device class i % 6.
+        assert plan.result == plans[i % 6].result
+
+
+def test_batch_purges_stale_entries_after_mutation():
+    scenario = _scenario()
+    cache = PlanCache()
+    planner = BatchPlanner.for_scenario(scenario, cache=cache)
+    requests = synthetic_requests(scenario, 20, 4)
+    planner.plan_batch(requests)
+    assert len(cache) == 4
+    scenario.topology.node("late-node")  # world moves on
+    planner.plan_batch(requests)
+    stats = cache.stats
+    assert stats.invalidations == 4  # old generation purged up front
+    assert stats.misses == 8  # recomputed once per class, per epoch
+    assert len(cache) == 4
+
+
+def test_uncached_batch_touches_no_cache():
+    scenario = _scenario()
+    cache = PlanCache()
+    planner = BatchPlanner.for_scenario(scenario, cache=cache)
+    plans = planner.plan_batch(synthetic_requests(scenario, 10, 5), use_cache=False)
+    assert len(plans) == 10
+    assert cache.stats.lookups == 0
+    assert len(cache) == 0
+
+
+def test_empty_batch_is_a_noop():
+    planner = BatchPlanner.for_scenario(_scenario(), cache=PlanCache())
+    assert planner.plan_batch([]) == []
+
+
+# ----------------------------------------------------------------------
+# Runtime wiring
+# ----------------------------------------------------------------------
+
+
+def test_session_plan_accepts_cache(small_synthetic):
+    cache = PlanCache()
+    session = small_synthetic.session()
+    first = session.plan(cache=cache)
+    second = session.plan(cache=cache)
+    assert second is first
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    # Without a cache the session still plans the same result.
+    fresh = session.plan()
+    assert fresh.result == first.result
+
+
+def test_admission_controller_reuses_plans_until_reservation():
+    scenario = _scenario(seed=11)
+    cache = PlanCache()
+    controller = AdmissionController(
+        registry=scenario.registry,
+        parameters=scenario.parameters,
+        catalog=scenario.catalog,
+        placement=scenario.placement,
+        cache=cache,
+    )
+
+    def admit():
+        return controller.admit(
+            content=scenario.content,
+            device=scenario.device,
+            user=scenario.user,
+            sender_node=scenario.sender_node,
+            receiver_node=scenario.receiver_node,
+        )
+
+    first = admit()
+    assert first is not None
+    stats = cache.stats
+    assert stats.misses == 1
+    if first.reservations and any(
+        r.bandwidth_bps > 0 and len(r.route) > 1 for r in first.reservations
+    ):
+        # The admission reserved bandwidth -> ledger generation moved ->
+        # the next identical request must be planned fresh, never served
+        # the pre-reservation plan.
+        admit()
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+
+
+def test_planner_report_summary_and_rates():
+    report = PlannerReport(
+        sessions=100,
+        successes=98,
+        cache_hits=80,
+        cache_misses=20,
+        invalidations=3,
+        evictions=1,
+        elapsed_s=0.5,
+    )
+    assert report.hit_rate == 0.8
+    assert report.throughput_per_s == 200.0
+    text = report.summary()
+    assert "100" in text
+    assert "80.0% hit rate" in text
+    zero = PlannerReport(0, 0, 0, 0, 0, 0, 0.0)
+    assert zero.hit_rate == 0.0
+    assert zero.throughput_per_s == 0.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_plan_batch_runs_and_reports():
+    out = io.StringIO()
+    code = main(
+        ["plan-batch", "--sessions", "40", "--distinct", "8", "--seed", "7"],
+        out=out,
+    )
+    assert code == 0
+    text = out.getvalue()
+    assert "40 sessions" in text
+    assert "cache hits:        32" in text
+    assert "cache misses:      8" in text
+
+
+def test_cli_plan_batch_compare_prints_speedup():
+    out = io.StringIO()
+    code = main(
+        [
+            "plan-batch",
+            "--sessions", "30",
+            "--distinct", "6",
+            "--compare",
+            "--workers", "4",
+        ],
+        out=out,
+    )
+    assert code == 0
+    text = out.getvalue()
+    assert "uncached:" in text
+    assert "speedup:" in text

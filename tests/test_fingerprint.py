@@ -1,0 +1,266 @@
+"""Canonical fingerprints and the hashability they are built on.
+
+Two requirements back the plan cache (ISSUE: plan-cache key integrity):
+
+- equal profiles against equal infrastructure yield equal fingerprints
+  (so cache hits happen at all);
+- mutating *any* field of *any* input — profile attribute, catalog entry,
+  topology link, placement, reservation — yields a different fingerprint
+  (so stale plans are unreachable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.satisfaction import (
+    HarmonicCombiner,
+    LinearSatisfaction,
+    MinimumCombiner,
+)
+from repro.formats.format import MediaFormat, MediaType
+from repro.formats.variants import ContentVariant
+from repro.core.configuration import Configuration
+from repro.core.parameters import FRAME_RATE
+from repro.core.selection import TieBreakPolicy
+from repro.planner import PlanCache, fingerprint_request
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import AdaptationPolicy, UserProfile
+from repro.services.descriptor import ServiceDescriptor
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+
+def _fingerprint(scenario, **overrides):
+    kwargs = dict(
+        user=scenario.user,
+        content=scenario.content,
+        device=scenario.device,
+        sender_node=scenario.sender_node,
+        receiver_node=scenario.receiver_node,
+        catalog=scenario.catalog,
+        placement=scenario.placement,
+        context=scenario.context,
+    )
+    kwargs.update(overrides)
+    return fingerprint_request(**kwargs)
+
+
+def _user(**overrides) -> UserProfile:
+    kwargs = dict(
+        user_id="u1",
+        satisfaction_functions={FRAME_RATE: LinearSatisfaction(0.0, 30.0)},
+        combiner=HarmonicCombiner(),
+        budget=100.0,
+        policies=(AdaptationPolicy(FRAME_RATE, priority=0),),
+        display_name="User One",
+        max_delay_ms=500.0,
+    )
+    kwargs.update(overrides)
+    return UserProfile(**kwargs)
+
+
+def _device(**overrides) -> DeviceProfile:
+    kwargs = dict(
+        device_id="d1",
+        decoders=["mpeg1", "mpeg4"],
+        max_frame_rate=30.0,
+        max_resolution=307200.0,
+        cpu_mips=400.0,
+        vendor="acme",
+    )
+    kwargs.update(overrides)
+    return DeviceProfile(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Equal inputs => equal fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_same_scenario_same_fingerprint():
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=10))
+    assert _fingerprint(scenario) == _fingerprint(scenario)
+    assert _fingerprint(scenario).digest == _fingerprint(scenario).digest
+
+
+def test_identically_generated_scenarios_share_digests():
+    a = generate_scenario(SyntheticConfig(seed=5, n_services=10))
+    b = generate_scenario(SyntheticConfig(seed=5, n_services=10))
+    # The stamp counters match too: both worlds were built the same way.
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_equal_profiles_are_equal_and_hash_alike():
+    assert _user() == _user()
+    assert hash(_user()) == hash(_user())
+    assert _device() == _device()
+    assert hash(_device()) == hash(_device())
+    context = ContextProfile(location="office", activity="meeting")
+    assert context == ContextProfile(location="office", activity="meeting")
+    assert hash(context) == hash(ContextProfile(location="office", activity="meeting"))
+
+
+def test_fingerprint_usable_as_dict_key():
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=10))
+    cache = PlanCache()
+    fingerprint = _fingerprint(scenario)
+    cache.put(fingerprint, "plan")
+    assert cache.get(_fingerprint(scenario)) == "plan"
+
+
+# ----------------------------------------------------------------------
+# Any mutated field => different fingerprint
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"user_id": "u2"},
+        {"display_name": "Someone Else"},
+        {"budget": 99.0},
+        {"max_delay_ms": 400.0},
+        {"combiner": MinimumCombiner()},
+        {"satisfaction_functions": {FRAME_RATE: LinearSatisfaction(0.0, 25.0)}},
+        {"policies": ()},
+        {
+            "peer_overrides": {
+                "bob": {FRAME_RATE: LinearSatisfaction(0.0, 10.0)}
+            }
+        },
+    ],
+)
+def test_any_mutated_user_field_changes_key(override):
+    assert _user().cache_key() != _user(**override).cache_key()
+    assert _user() != _user(**override)
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"device_id": "d2"},
+        {"decoders": ["mpeg1"]},
+        {"max_frame_rate": 25.0},
+        {"max_resolution": None},
+        {"max_color_depth": 8.0},
+        {"max_audio_kbps": 64.0},
+        {"cpu_mips": 200.0},
+        {"memory_mb": 128.0},
+        {"vendor": "other"},
+        {"model": "x200"},
+        {"attributes": {"touch": "yes"}},
+    ],
+)
+def test_any_mutated_device_field_changes_key(override):
+    assert _device().cache_key() != _device(**override).cache_key()
+    assert _device() != _device(**override)
+
+
+def test_mutated_request_profiles_change_fingerprint():
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=10))
+    base = _fingerprint(scenario)
+    other_device = DeviceProfile(
+        device_id=scenario.device.device_id + "-x",
+        decoders=scenario.device.decoders,
+    )
+    assert _fingerprint(scenario, device=other_device) != base
+    assert _fingerprint(scenario, peer="bob") != base
+    assert _fingerprint(scenario, tie_break=TieBreakPolicy.ASCENDING_ID) != base
+    assert _fingerprint(scenario, prune=False) != base
+    assert _fingerprint(scenario, record_trace=True) != base
+    assert (
+        _fingerprint(scenario, context=ContextProfile(location="train")) != base
+    )
+
+
+def test_catalog_mutation_changes_fingerprint():
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=10))
+    base = _fingerprint(scenario)
+    service_id = scenario.catalog.ids()[0]
+    descriptor = scenario.catalog.get(service_id)
+    scenario.catalog.remove(service_id)
+    after_remove = _fingerprint(scenario)
+    assert after_remove != base
+    scenario.catalog.add(descriptor)
+    # Same content as the start, but the generation counter moved on.
+    assert _fingerprint(scenario) != base
+    assert _fingerprint(scenario) != after_remove
+
+
+def test_topology_mutation_changes_fingerprint():
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=10))
+    base = _fingerprint(scenario)
+    scenario.topology.node("late-proxy")
+    with_node = _fingerprint(scenario)
+    assert with_node != base
+    scenario.topology.link(scenario.sender_node, "late-proxy", 1e6)
+    assert _fingerprint(scenario) != with_node
+
+
+def test_placement_mutation_changes_fingerprint():
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=10))
+    base = _fingerprint(scenario)
+    service_id = scenario.catalog.ids()[0]
+    scenario.placement.place(service_id, scenario.placement.node_of(service_id))
+    # Re-placing onto the same node is a no-op in content, but the plan
+    # cache must still treat the world as moved.
+    assert _fingerprint(scenario) != base
+
+
+def test_reservation_changes_fingerprint_only_when_ledger_passed():
+    from repro.network.reservations import BandwidthLedger
+
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=10))
+    ledger = BandwidthLedger(scenario.topology)
+    base = _fingerprint(scenario, ledger=ledger)
+    assert base == _fingerprint(scenario, ledger=ledger)
+    link = scenario.topology.links()[0]
+    reservation = ledger.reserve([link.a, link.b], 1.0)
+    assert _fingerprint(scenario, ledger=ledger) != base
+    ledger.release(reservation)
+    # Release restores capacity but still bumps the generation: a plan
+    # computed before the reservation is never served afterwards.
+    assert _fingerprint(scenario, ledger=ledger) != base
+
+
+# ----------------------------------------------------------------------
+# Hashability of the building blocks
+# ----------------------------------------------------------------------
+
+
+def test_formats_variants_descriptors_hash_with_mappings():
+    fmt = MediaFormat(
+        name="v",
+        media_type=MediaType.VIDEO,
+        codec="c",
+        compression_ratio=10.0,
+        attributes={"profile": "main"},
+    )
+    assert fmt in {fmt}
+    variant = ContentVariant(
+        format=fmt,
+        configuration=Configuration({FRAME_RATE: 30.0}),
+        metadata={"lang": "en"},
+    )
+    assert variant in {variant}
+    descriptor = ServiceDescriptor(
+        service_id="t1",
+        input_formats=("a",),
+        output_formats=("b",),
+        output_caps={FRAME_RATE: 15.0},
+    )
+    assert descriptor in {descriptor}
+    assert len({descriptor, descriptor}) == 1
+
+
+def test_profiles_usable_in_sets():
+    profiles = {
+        _user(),
+        _user(),
+        _device(),
+        _device(),
+        ContextProfile(location="office"),
+        ContextProfile(location="office"),
+    }
+    assert len(profiles) == 3

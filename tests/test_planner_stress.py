@@ -1,0 +1,167 @@
+"""Concurrency stress tests: shared cache and shared reservation table.
+
+Many threads hammer one :class:`PlanCache` and one
+:class:`BandwidthLedger`; afterwards the books must balance exactly:
+
+- cache: lookups = hits + misses, misses = distinct fingerprints
+  (single-flight: no duplicate computation), and every caller of the same
+  fingerprint got the *same* plan object (no torn entries);
+- ledger: per-link reserved bandwidth equals the sum over active
+  reservations, no link exceeds capacity, and releasing everything drains
+  the table to zero.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.network.reservations import BandwidthLedger
+from repro.planner import BatchPlanner, PlanCache, synthetic_requests
+from repro.runtime.admission import AdmissionController
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+N_THREADS = 16
+
+
+def _scenario(seed=7):
+    return generate_scenario(
+        SyntheticConfig(seed=seed, n_services=12, n_formats=8, n_nodes=8)
+    )
+
+
+def test_concurrent_cache_is_single_flight_and_untorn():
+    scenario = _scenario()
+    cache = PlanCache(max_entries=256)
+    planner = BatchPlanner.for_scenario(scenario, cache=cache)
+    n_distinct = 8
+    requests = synthetic_requests(scenario, 25 * N_THREADS, n_distinct)
+    barrier = threading.Barrier(N_THREADS)
+    per_thread = len(requests) // N_THREADS
+
+    def worker(thread_index):
+        barrier.wait()  # maximize contention on the first misses
+        chunk = requests[thread_index * per_thread:(thread_index + 1) * per_thread]
+        return [(planner.fingerprint(r), planner.plan(r)) for r in chunk]
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        results = list(pool.map(worker, range(N_THREADS)))
+
+    by_fingerprint = {}
+    total = 0
+    for chunk in results:
+        for fingerprint, plan in chunk:
+            total += 1
+            by_fingerprint.setdefault(fingerprint, []).append(plan)
+    assert total == len(requests)
+    assert len(by_fingerprint) == n_distinct
+    # No torn entries: every caller of a fingerprint saw one object.
+    for plans in by_fingerprint.values():
+        assert all(plan is plans[0] for plan in plans)
+        assert plans[0].success
+    stats = cache.stats
+    # planner.plan() accounts one hit or miss per call; single-flight
+    # means exactly one miss (one computation) per distinct fingerprint.
+    assert stats.hits + stats.misses == total
+    assert stats.misses == n_distinct
+    assert stats.entries == n_distinct
+
+
+def test_concurrent_admission_never_oversubscribes_links():
+    scenario = _scenario(seed=11)
+    controller = AdmissionController(
+        registry=scenario.registry,
+        parameters=scenario.parameters,
+        catalog=scenario.catalog,
+        placement=scenario.placement,
+    )
+
+    def admit(_):
+        return controller.admit(
+            content=scenario.content,
+            device=scenario.device,
+            user=scenario.user,
+            sender_node=scenario.sender_node,
+            receiver_node=scenario.receiver_node,
+        )
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        admitted = [s for s in pool.map(admit, range(3 * N_THREADS)) if s]
+
+    assert admitted, "stress scenario admitted nothing; rebalance the config"
+    assert len(controller.active_sessions()) == len(admitted)
+
+    ledger = controller.ledger
+    # Per-link accounting: reserved == sum of active claims, and no claim
+    # pushed a link past its capacity (the 1e-9 slack absorbs exact fits).
+    expected = {}
+    for session in admitted:
+        for reservation in session.reservations:
+            for link_key in reservation.links():
+                expected[link_key] = (
+                    expected.get(link_key, 0.0) + reservation.bandwidth_bps
+                )
+    for (a, b), demand in expected.items():
+        assert abs(ledger.reserved_on(a, b) - demand) < 1e-6
+        capacity = scenario.topology.get_link(a, b).bandwidth_bps
+        assert demand <= capacity * (1.0 + 1e-6)
+
+    # Duplicate-reservation check: every reservation id is unique.
+    ids = [
+        r.reservation_id for s in admitted for r in s.reservations
+    ]
+    assert len(ids) == len(set(ids))
+
+    assert controller.teardown_all() == len(admitted)
+    assert len(ledger) == 0
+    for a, b in expected:
+        assert ledger.reserved_on(a, b) == 0.0
+
+
+def test_concurrent_reserve_release_keeps_ledger_consistent():
+    scenario = _scenario(seed=3)
+    ledger = BandwidthLedger(scenario.topology)
+    link = scenario.topology.links()[0]
+    route = [link.a, link.b]
+    slice_bps = link.bandwidth_bps / (4 * N_THREADS)
+    failures = []
+
+    def churn(_):
+        local = []
+        for _ in range(20):
+            try:
+                local.append(ledger.reserve(route, slice_bps))
+            except Exception as exc:  # over-capacity under contention is legal
+                failures.append(exc)
+            if len(local) >= 2:
+                ledger.release(local.pop(0))
+        for reservation in local:
+            ledger.release(reservation)
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        list(pool.map(churn, range(N_THREADS)))
+
+    # Whatever interleaving happened, full release drains the link.
+    assert len(ledger) == 0
+    assert ledger.reserved_on(link.a, link.b) == 0.0
+    assert ledger.residual(link.a, link.b) == link.bandwidth_bps
+
+
+def test_deterministic_plans_across_thread_counts():
+    scenario = _scenario(seed=5)
+    requests = synthetic_requests(scenario, 24, 6)
+
+    def run(workers):
+        planner = BatchPlanner.for_scenario(
+            scenario, cache=PlanCache(), max_workers=workers
+        )
+        return [
+            (
+                plan.result.path,
+                plan.result.formats,
+                plan.result.satisfaction,
+            )
+            for plan in planner.plan_batch(requests)
+        ]
+
+    assert run(1) == run(4) == run(16)
