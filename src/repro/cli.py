@@ -158,6 +158,7 @@ def cmd_plan_batch(args: argparse.Namespace, out) -> int:
     elapsed = time.perf_counter() - started
 
     stats = cache.stats
+    memo_stats = planner.optimize_memo.stats
     report = PlannerReport(
         sessions=len(plans),
         successes=sum(1 for plan in plans if plan.success),
@@ -166,6 +167,13 @@ def cmd_plan_batch(args: argparse.Namespace, out) -> int:
         invalidations=stats.invalidations,
         evictions=stats.evictions,
         elapsed_s=elapsed,
+        optimize_calls=memo_stats.lookups,
+        optimize_memo_hits=memo_stats.hits,
+        settle_rounds=sum(
+            plan.result.stats.rounds
+            for plan in plans
+            if plan.result.stats is not None
+        ),
     )
     print(f"scenario: {scenario.name} "
           f"({args.sessions} sessions, {args.distinct} device classes)", file=out)

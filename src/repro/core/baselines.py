@@ -21,7 +21,6 @@ and every parameter can always be reduced further at later hops.
 
 from __future__ import annotations
 
-import heapq
 import math
 import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -31,7 +30,7 @@ from repro.core.graph import AdaptationGraph, Edge
 from repro.core.optimizer import ConfigurationOptimizer, OptimizationConstraints
 from repro.core.parameters import ParameterSet
 from repro.core.satisfaction import CombinedSatisfaction
-from repro.core.selection import SelectionResult
+from repro.core.selection import LazySettleHeap, SelectionResult
 from repro.formats.registry import FormatRegistry
 from repro.services.catalog import service_sort_key
 
@@ -275,13 +274,14 @@ class WidestPathSelector(PathSelectorBase):
         start = (graph.sender_id, frozenset())
         best: Dict[Tuple[str, frozenset], float] = {start: math.inf}
         parents: Dict[Tuple[str, frozenset], Tuple[Tuple[str, frozenset], Edge]] = {}
-        heap: List[Tuple[float, int, Tuple[str, frozenset]]] = [(-math.inf, 0, start)]
-        counter = 0
+        heap = LazySettleHeap()
+        heap.push(-math.inf, start)
         done: Set[Tuple[str, frozenset]] = set()
-        while heap:
-            neg_width, _, state = heapq.heappop(heap)
-            if state in done:
-                continue
+        while True:
+            popped = heap.pop_current(lambda state: state not in done)
+            if popped is None:
+                return None
+            neg_width, state = popped
             done.add(state)
             vertex_id, formats = state
             if vertex_id == graph.receiver_id:
@@ -299,9 +299,7 @@ class WidestPathSelector(PathSelectorBase):
                         continue
                     best[next_state] = candidate
                     parents[next_state] = (state, edge)
-                    counter += 1
-                    heapq.heappush(heap, (-candidate, counter, next_state))
-        return None
+                    heap.push(-candidate, next_state)
 
 
 class CheapestPathSelector(PathSelectorBase):
@@ -312,13 +310,14 @@ class CheapestPathSelector(PathSelectorBase):
         start = (graph.sender_id, frozenset())
         distance: Dict[Tuple[str, frozenset], float] = {start: 0.0}
         parents: Dict[Tuple[str, frozenset], Tuple[Tuple[str, frozenset], Edge]] = {}
-        heap: List[Tuple[float, int, Tuple[str, frozenset]]] = [(0.0, 0, start)]
-        counter = 0
+        heap = LazySettleHeap()
+        heap.push(0.0, start)
         done: Set[Tuple[str, frozenset]] = set()
-        while heap:
-            cost, _, state = heapq.heappop(heap)
-            if state in done:
-                continue
+        while True:
+            popped = heap.pop_current(lambda state: state not in done)
+            if popped is None:
+                return None
+            cost, state = popped
             done.add(state)
             vertex_id, formats = state
             if vertex_id == graph.receiver_id:
@@ -336,9 +335,7 @@ class CheapestPathSelector(PathSelectorBase):
                         continue
                     distance[next_state] = candidate
                     parents[next_state] = (state, edge)
-                    counter += 1
-                    heapq.heappush(heap, (candidate, counter, next_state))
-        return None
+                    heap.push(candidate, next_state)
 
 
 class RandomPathSelector(PathSelectorBase):

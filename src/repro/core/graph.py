@@ -108,15 +108,38 @@ class AdaptationGraph:
                 raise GraphConstructionError(f"{role} vertex {endpoint_id!r} missing")
         self.sender_id = sender_id
         self.receiver_id = receiver_id
-        self._out_edges: Dict[str, List[Edge]] = {v: [] for v in self._vertices}
-        self._in_edges: Dict[str, List[Edge]] = {v: [] for v in self._vertices}
+        out_lists: Dict[str, List[Edge]] = {v: [] for v in self._vertices}
+        in_lists: Dict[str, List[Edge]] = {v: [] for v in self._vertices}
         for edge in edges:
             if edge.source not in self._vertices:
                 raise GraphConstructionError(f"edge from unknown vertex {edge.source!r}")
             if edge.target not in self._vertices:
                 raise GraphConstructionError(f"edge to unknown vertex {edge.target!r}")
-            self._out_edges[edge.source].append(edge)
-            self._in_edges[edge.target].append(edge)
+            out_lists[edge.source].append(edge)
+            in_lists[edge.target].append(edge)
+        # The graph is frozen after construction, so the adjacency order the
+        # selectors rely on is computed exactly once here instead of on
+        # every out_edges()/in_edges() call (the seed re-sorted per call).
+        self._out_edges: Dict[str, Tuple[Edge, ...]] = {
+            v: tuple(
+                sorted(es, key=lambda e: (service_sort_key(e.target), e.format_name))
+            )
+            for v, es in out_lists.items()
+        }
+        self._in_edges: Dict[str, Tuple[Edge, ...]] = {
+            v: tuple(
+                sorted(es, key=lambda e: (service_sort_key(e.source), e.format_name))
+            )
+            for v, es in in_lists.items()
+        }
+        self._ordered_ids: Tuple[str, ...] = tuple(
+            sorted(self._vertices, key=service_sort_key)
+        )
+        #: Natural-order rank per vertex id; selectors use it to turn the
+        #: string-keyed tie-break orderings into cheap integer comparisons.
+        self._vertex_rank: Dict[str, int] = {
+            service_id: rank for rank, service_id in enumerate(self._ordered_ids)
+        }
 
     # ------------------------------------------------------------------
     # Lookup
@@ -137,40 +160,43 @@ class AdaptationGraph:
 
     def vertices(self) -> List[Vertex]:
         """All vertices in natural service-id order."""
-        return [
-            self._vertices[service_id]
-            for service_id in sorted(self._vertices, key=service_sort_key)
-        ]
+        return [self._vertices[service_id] for service_id in self._ordered_ids]
 
     def vertex_ids(self) -> List[str]:
-        return sorted(self._vertices, key=service_sort_key)
+        return list(self._ordered_ids)
+
+    def vertex_rank(self) -> Mapping[str, int]:
+        """Natural-order rank per vertex id (``T2`` < ``T10``), frozen at
+        construction.  Shared by the heap selectors' tie-break keys."""
+        return self._vertex_rank
 
     def edges(self) -> List[Edge]:
         return [edge for edges in self._out_edges.values() for edge in edges]
 
-    def out_edges(self, service_id: str) -> List[Edge]:
-        """Outgoing edges, ordered by target id then format name."""
-        if service_id not in self._vertices:
-            raise UnknownServiceError(service_id)
-        return sorted(
-            self._out_edges[service_id],
-            key=lambda e: (service_sort_key(e.target), e.format_name),
-        )
+    def out_edges(self, service_id: str) -> Tuple[Edge, ...]:
+        """Outgoing edges, ordered by target id then format name.
 
-    def in_edges(self, service_id: str) -> List[Edge]:
-        """Incoming edges, ordered by source id then format name."""
-        if service_id not in self._vertices:
-            raise UnknownServiceError(service_id)
-        return sorted(
-            self._in_edges[service_id],
-            key=lambda e: (service_sort_key(e.source), e.format_name),
-        )
+        The tuple is built once at construction time; callers share it, so
+        repeated calls are O(1) and always return the identical ordering.
+        """
+        try:
+            return self._out_edges[service_id]
+        except KeyError:
+            raise UnknownServiceError(service_id) from None
+
+    def in_edges(self, service_id: str) -> Tuple[Edge, ...]:
+        """Incoming edges, ordered by source id then format name (cached)."""
+        try:
+            return self._in_edges[service_id]
+        except KeyError:
+            raise UnknownServiceError(service_id) from None
 
     def successors(self, service_id: str) -> List[str]:
         """Distinct successor ids in natural order (the paper's
         ``neighbor(Ti)``)."""
-        seen = {edge.target for edge in self._out_edges[service_id]}
-        return sorted(seen, key=service_sort_key)
+        # Out-edges are already sorted by target, so de-duping in order
+        # preserves the natural ordering without a fresh sort.
+        return list(dict.fromkeys(e.target for e in self._out_edges[service_id]))
 
     def __contains__(self, service_id: object) -> bool:
         return service_id in self._vertices
@@ -238,7 +264,7 @@ class AdaptationGraph:
     def _flood(
         self,
         start: str,
-        adjacency: Mapping[str, List[Edge]],
+        adjacency: Mapping[str, Sequence[Edge]],
         forward: bool,
     ) -> Set[str]:
         seen = {start}

@@ -51,16 +51,24 @@ the link can carry.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.configuration import Configuration
 from repro.core.parameters import DiscreteDomain, ParameterSet
 from repro.core.satisfaction import CombinedSatisfaction
-from repro.errors import UnknownParameterError
+from repro.errors import UnknownParameterError, ValidationError
 from repro.formats.format import MediaFormat
 
-__all__ = ["OptimizationConstraints", "OptimizedChoice", "ConfigurationOptimizer"]
+__all__ = [
+    "OptimizationConstraints",
+    "OptimizedChoice",
+    "OptimizeMemoStats",
+    "OptimizeMemo",
+    "ConfigurationOptimizer",
+]
 
 #: Bisection iterations for the quality-ray phase; 2^-60 of the parameter
 #: range is far below any displayed precision.
@@ -94,6 +102,113 @@ class OptimizedChoice:
     required_bandwidth_bps: float
 
 
+@dataclass(frozen=True)
+class OptimizeMemoStats:
+    """One consistent snapshot of the optimize-memo counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0.0 when none ran)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class OptimizeMemo:
+    """A bounded, thread-safe memo of :meth:`ConfigurationOptimizer.optimize`
+    results.
+
+    ``optimize()`` is a pure function of the constraint tuple *and* of the
+    optimizer's own identity (parameter domains, satisfaction functions,
+    degrade order), so entries are keyed by an interned fingerprint over
+    both.  That makes one memo safely shareable across every selector run
+    of a :class:`~repro.planner.batch.BatchPlanner`: two sessions for
+    different users never collide (different context fingerprints), while
+    sessions over the same infrastructure reuse each other's solved
+    relaxations — including negative results (``None`` — "this edge cannot
+    carry the stream" — is memoized too).
+
+    The LRU bound keeps memory flat under open-ended traffic; eviction
+    only costs recomputation, never correctness.
+    """
+
+    _MISS = object()
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValidationError("OptimizeMemo needs max_entries >= 1")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, Optional[OptimizedChoice]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def lookup(self, key: Tuple) -> object:
+        """The memoized result for ``key``, or the :attr:`_MISS` sentinel.
+
+        The sentinel (exposed via :meth:`is_miss`) distinguishes "never
+        solved" from the legitimately memoized ``None`` result.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return self._MISS
+
+    @classmethod
+    def is_miss(cls, value: object) -> bool:
+        return value is cls._MISS
+
+    def store(self, key: Tuple, choice: Optional[OptimizedChoice]) -> None:
+        with self._lock:
+            self._entries[key] = choice
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> OptimizeMemoStats:
+        with self._lock:
+            return OptimizeMemoStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats
+        return (
+            f"OptimizeMemo(entries={snapshot.entries}/{self._max_entries}, "
+            f"hits={snapshot.hits}, misses={snapshot.misses})"
+        )
+
+
 class ConfigurationOptimizer:
     """Maximizes user satisfaction inside an :class:`OptimizationConstraints`
     region."""
@@ -103,6 +218,7 @@ class ConfigurationOptimizer:
         parameters: ParameterSet,
         satisfaction: CombinedSatisfaction,
         degrade_order: Optional[Sequence[str]] = None,
+        memo: Optional[OptimizeMemo] = None,
     ) -> None:
         self._parameters = parameters
         self._satisfaction = satisfaction
@@ -110,6 +226,12 @@ class ConfigurationOptimizer:
         #: not listed are degraded before listed ones (no stated preference
         #: means no objection).
         self._degrade_order = list(degrade_order or [])
+        self._memo = memo
+        self._context_key: Optional[Tuple] = None
+        #: Per-instance counters (one optimizer serves one selector run, so
+        #: these need no locking; the shared memo keeps its own).
+        self.optimize_calls = 0
+        self.memo_hits = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -118,8 +240,26 @@ class ConfigurationOptimizer:
         """Best feasible configuration, or ``None`` when nothing fits.
 
         ``None`` means even every parameter at its domain minimum exceeds
-        the link bandwidth — the edge is unusable for this stream.
+        the link bandwidth — the edge is unusable for this stream.  With a
+        memo attached, a constraint tuple solved before (by *any* optimizer
+        sharing the memo and this optimizer's context fingerprint) returns
+        the stored answer without re-running the four phases.
         """
+        self.optimize_calls += 1
+        if self._memo is None:
+            return self._optimize_fresh(constraints)
+        key = self._memo_key(constraints)
+        cached = self._memo.lookup(key)
+        if not OptimizeMemo.is_miss(cached):
+            self.memo_hits += 1
+            return cached  # type: ignore[return-value]
+        choice = self._optimize_fresh(constraints)
+        self._memo.store(key, choice)
+        return choice
+
+    def _optimize_fresh(
+        self, constraints: OptimizationConstraints
+    ) -> Optional[OptimizedChoice]:
         upper = self._upper_bounds(constraints)
         if upper is None:
             return None
@@ -156,6 +296,42 @@ class ConfigurationOptimizer:
         if not values:
             return 0.0
         return self._satisfaction.combiner(values)
+
+    # ------------------------------------------------------------------
+    # Memo fingerprints
+    # ------------------------------------------------------------------
+    def _memo_key(self, constraints: OptimizationConstraints) -> Tuple:
+        """An interned fingerprint of (optimizer identity, constraints).
+
+        The context part is computed once per optimizer and reused for
+        every call — the expensive satisfaction/domain keys are never
+        rebuilt on the hot path.
+        """
+        if self._context_key is None:
+            self._context_key = self._build_context_key()
+        return (
+            self._context_key,
+            tuple(sorted(constraints.upstream.items())),
+            tuple(sorted(constraints.caps.items())),
+            constraints.fmt.cache_key(),
+            constraints.bandwidth_bps,
+        )
+
+    def _build_context_key(self) -> Tuple:
+        parameter_key = []
+        for name in self._parameters.names():
+            domain = self._parameters[name].domain
+            if isinstance(domain, DiscreteDomain):
+                parameter_key.append((name, "discrete", tuple(domain.values)))
+            else:
+                parameter_key.append(
+                    (name, "continuous", domain.minimum, domain.maximum)
+                )
+        return (
+            tuple(parameter_key),
+            self._satisfaction.cache_key(),
+            tuple(self._degrade_order),
+        )
 
     # ------------------------------------------------------------------
     # Bounds

@@ -107,6 +107,14 @@ def result_to_markdown(result: SelectionResult, title: str = "Selection result")
     frame_rate = result.delivered_frame_rate
     if frame_rate is not None:
         rows.insert(2, ("delivered frame rate", f"{frame_rate:.2f} fps"))
+    if result.stats is not None:
+        rows.append(
+            (
+                "optimize calls",
+                f"{result.stats.optimize_calls} "
+                f"({result.stats.memo_hit_rate * 100:.0f}% memoized)",
+            )
+        )
     lines.append(markdown_table(("property", "value"), rows))
     return "\n".join(lines)
 

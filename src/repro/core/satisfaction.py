@@ -454,6 +454,19 @@ class CombinedSatisfaction:
         order."""
         return list(self.functions)
 
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple identifying this bundle exactly.
+
+        Function order participates (weighted combiners zip weights with
+        the insertion order), so two bundles with the same functions in a
+        different order key differently — as they must, since they can
+        evaluate differently.
+        """
+        return (
+            tuple((name, fn.cache_key()) for name, fn in self.functions.items()),
+            self.combiner.cache_key(),
+        )
+
     def individual(self, name: str, value: float) -> float:
         """Satisfaction for one parameter value."""
         try:

@@ -28,9 +28,10 @@ provides deterministic options, ablated in benchmark E8/E13.
 from __future__ import annotations
 
 import enum
+import heapq
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.configuration import Configuration
 from repro.core.graph import AdaptationGraph, Edge
@@ -38,6 +39,7 @@ from repro.core.optimizer import (
     ConfigurationOptimizer,
     OptimizationConstraints,
     OptimizedChoice,
+    OptimizeMemo,
 )
 from repro.core.parameters import FRAME_RATE, ParameterSet
 from repro.core.satisfaction import CombinedSatisfaction
@@ -45,15 +47,63 @@ from repro.core.trace import SelectionRound, SelectionTrace
 from repro.errors import NoPathError
 from repro.formats.registry import FormatRegistry
 from repro.profiles.user import UserProfile
-from repro.services.catalog import service_sort_key
 from repro.services.chains import AdaptationChain, ChainHop
 
 __all__ = [
     "TieBreakPolicy",
+    "LazySettleHeap",
+    "SelectionStats",
     "SelectionResult",
     "QoSPathSelector",
     "build_chain",
 ]
+
+
+class LazySettleHeap:
+    """A counter-tied binary min-heap with lazy deletion.
+
+    The settle loops in :class:`QoSPathSelector` and the Dijkstra-shaped
+    baselines all share the same access pattern: push (key, payload) pairs,
+    repeatedly extract the minimum *live* payload, and never pay to delete
+    a superseded or already-settled one — those stay in the heap and are
+    skipped at pop time via the caller's ``is_current`` predicate.  The
+    monotone counter tie-breaks exactly-equal keys by push order, which
+    also guarantees payloads themselves are never compared.
+
+    Counters (``pushes`` / ``settled_pops`` / ``stale_pops``) feed the
+    hot-path benchmark and :class:`SelectionStats`.
+    """
+
+    __slots__ = ("_heap", "_counter", "pushes", "settled_pops", "stale_pops")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple] = []
+        self._counter = 0
+        self.pushes = 0
+        self.settled_pops = 0
+        self.stale_pops = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, key, payload) -> None:
+        heapq.heappush(self._heap, (key, self._counter, payload))
+        self._counter += 1
+        self.pushes += 1
+
+    def pop_current(self, is_current: Callable) -> Optional[Tuple]:
+        """The minimal (key, payload) with ``is_current(payload)`` true.
+
+        Stale entries encountered on the way are dropped.  Returns ``None``
+        when no live payload remains.
+        """
+        while self._heap:
+            key, _, payload = heapq.heappop(self._heap)
+            if is_current(payload):
+                self.settled_pops += 1
+                return key, payload
+            self.stale_pops += 1
+        return None
 
 
 class TieBreakPolicy(enum.Enum):
@@ -98,12 +148,43 @@ class _Entry:
 
 
 @dataclass(frozen=True)
+class SelectionStats:
+    """Where one selector run spent its planning effort.
+
+    ``optimize_calls`` counts every ``Optimize(...)`` invocation of the run
+    (memo hits included); ``dominance_skips`` counts relaxations pruned
+    before ``Optimize`` because the incumbent candidate already matched the
+    parent's satisfaction ceiling.  The heap counters describe the settle
+    loop itself.
+    """
+
+    rounds: int
+    optimize_calls: int
+    optimize_memo_hits: int
+    dominance_skips: int
+    heap_pushes: int
+    heap_settled_pops: int
+    heap_stale_pops: int
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of optimize() calls served from the memo."""
+        if self.optimize_calls == 0:
+            return 0.0
+        return self.optimize_memo_hits / self.optimize_calls
+
+
+@dataclass(frozen=True)
 class SelectionResult:
     """Outcome of one selector run.
 
     ``success`` mirrors Figure 4's two exits: True when the receiver was
     settled (Step 10 printed the reverse path), False when CS emptied
     first (Step 3's ``TERMINATE(FAILURE)``).
+
+    ``stats`` is observability only — it never participates in equality,
+    so results from differently-instrumented selectors still compare
+    bit-identical on everything the paper's algorithm defines.
     """
 
     success: bool
@@ -116,6 +197,7 @@ class SelectionResult:
     trace: Optional[SelectionTrace]
     failure_reason: str = ""
     accumulated_delay_ms: float = 0.0
+    stats: Optional[SelectionStats] = field(default=None, compare=False)
 
     @property
     def delivered_frame_rate(self) -> Optional[float]:
@@ -125,15 +207,37 @@ class SelectionResult:
 
     def describe(self) -> str:
         if not self.success:
-            return f"FAILURE after {self.rounds_run} rounds: {self.failure_reason}"
-        return (
-            f"path {','.join(self.path)} | satisfaction "
-            f"{self.satisfaction:.4f} | cost {self.accumulated_cost:.2f}"
-        )
+            text = f"FAILURE after {self.rounds_run} rounds: {self.failure_reason}"
+        else:
+            text = (
+                f"path {','.join(self.path)} | satisfaction "
+                f"{self.satisfaction:.4f} | cost {self.accumulated_cost:.2f}"
+            )
+        if self.stats is not None:
+            text += (
+                f" | rounds {self.stats.rounds}"
+                f" | optimize {self.stats.optimize_calls}"
+                f" ({self.stats.memo_hit_rate * 100:.0f}% memoized)"
+            )
+        return text
 
 
 class QoSPathSelector:
-    """Runs the Figure 4 algorithm over an adaptation graph."""
+    """Runs the Figure 4 algorithm over an adaptation graph.
+
+    The settle loop is heap-based: candidates live in a
+    :class:`LazySettleHeap` under a composite key that encodes satisfaction
+    first and the configured :class:`TieBreakPolicy` second, so Step 4 is
+    ``O(log |CS|)`` instead of the seed implementation's three full sorts
+    of ``CS`` per round.  Results are bit-identical to the linear-scan
+    seed selector for all four policies — the equivalence property suite
+    (``tests/test_selector_equivalence.py``) pins that.
+    """
+
+    #: Subclass hook: the equivalence reference disables the pre-filter to
+    #: reproduce the seed's exact work profile (results are identical
+    #: either way; the filter only skips provably rejected relaxations).
+    _use_dominance_filter = True
 
     def __init__(
         self,
@@ -146,6 +250,7 @@ class QoSPathSelector:
         tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
         record_trace: bool = True,
         max_delay_ms: float = math.inf,
+        optimize_memo: Optional[OptimizeMemo] = None,
     ) -> None:
         self._graph = graph
         self._registry = registry
@@ -154,7 +259,7 @@ class QoSPathSelector:
         self._tie_break = tie_break
         self._record_trace = record_trace
         self._optimizer = ConfigurationOptimizer(
-            parameters, satisfaction, degrade_order
+            parameters, satisfaction, degrade_order, memo=optimize_memo
         )
 
     @classmethod
@@ -167,6 +272,7 @@ class QoSPathSelector:
         peer: Optional[str] = None,
         tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
         record_trace: bool = True,
+        optimize_memo: Optional[OptimizeMemo] = None,
     ) -> "QoSPathSelector":
         """Build a selector straight from a user profile."""
         satisfaction = user.satisfaction(peer)
@@ -180,6 +286,7 @@ class QoSPathSelector:
             tie_break=tie_break,
             record_trace=record_trace,
             max_delay_ms=user.max_delay_ms,
+            optimize_memo=optimize_memo,
         )
 
     # ------------------------------------------------------------------
@@ -188,12 +295,19 @@ class QoSPathSelector:
     def run(self) -> SelectionResult:
         graph = self._graph
         trace = SelectionTrace() if self._record_trace else None
+        optimizer = self._optimizer
+        calls_before = optimizer.optimize_calls
+        memo_hits_before = optimizer.memo_hits
 
         # Step 1: VT = {sender}; CS = neighbor(sender).
         settled: Dict[str, _Entry] = {}
         settled_order: List[str] = []
         candidates: Dict[str, _Entry] = {}
         insertion_counter = 0
+        dominance_skips = 0
+        heap = LazySettleHeap()
+        heap_key = self._heap_key_fn()
+        use_dominance = self._use_dominance_filter
 
         sender_entry = _Entry(
             service_id=graph.sender_id,
@@ -212,7 +326,7 @@ class QoSPathSelector:
         settled_order.append(graph.sender_id)
 
         def consider(edge: Edge, current_round: int) -> None:
-            nonlocal insertion_counter
+            nonlocal insertion_counter, dominance_skips
             if edge.target in settled:
                 return
             parent = settled[edge.source]
@@ -220,6 +334,19 @@ class QoSPathSelector:
                 return  # Distinct-format rule (Section 4.2).
             if edge.target in parent.path:
                 return  # No repeated services along a path.
+            incumbent = candidates.get(edge.target)
+            if (
+                use_dominance
+                and incumbent is not None
+                and parent.satisfaction <= incumbent.satisfaction
+            ):
+                # Dominance pre-filter: quality only degrades along a path,
+                # so no relaxation through this parent can exceed the
+                # parent's own satisfaction.  With the incumbent already at
+                # or above that ceiling, Optimize() could at best tie — and
+                # ties never replace — so the call is skipped outright.
+                dominance_skips += 1
+                return
             target_vertex = graph.vertex(edge.target)
             upstream = self._upstream_configuration(parent, edge)
             if upstream is None:
@@ -234,7 +361,7 @@ class QoSPathSelector:
             delay = parent.accumulated_delay_ms + edge.delay_ms
             if delay > self._max_delay_ms:
                 return  # The user's end-to-end delay bound (Section 3).
-            choice = self._optimizer.optimize(
+            choice = optimizer.optimize(
                 OptimizationConstraints(
                     upstream=upstream,
                     caps=target_vertex.service.output_caps,
@@ -244,7 +371,6 @@ class QoSPathSelector:
             )
             if choice is None:
                 return  # Equation 2 cannot be met on this edge at all.
-            incumbent = candidates.get(edge.target)
             if incumbent is not None and choice.satisfaction <= incumbent.satisfaction:
                 return
             if incumbent is None:
@@ -254,7 +380,7 @@ class QoSPathSelector:
             else:
                 insertion_index = incumbent.insertion_index
                 insertion_round = incumbent.insertion_round
-            candidates[edge.target] = _Entry(
+            entry = _Entry(
                 service_id=edge.target,
                 parent_id=edge.source,
                 via_format=edge.format_name,
@@ -267,15 +393,19 @@ class QoSPathSelector:
                 insertion_round=insertion_round,
                 update_round=current_round,
             )
+            candidates[edge.target] = entry
+            # Lazy deletion: the superseded incumbent stays in the heap and
+            # is recognized as stale (identity mismatch) when popped.
+            heap.push(heap_key(entry), entry)
 
-        for edge in graph.out_edges(graph.sender_id):
+        for edge in self._relaxation_edges(graph.sender_id):
             consider(edge, current_round=0)
 
         rounds_run = 0
         while candidates:
             rounds_run += 1
             # Step 4: settle the candidate with the highest satisfaction.
-            selected = self._pick(candidates)
+            selected = self._select_candidate(candidates, heap)
             if trace is not None:
                 trace.append(
                     SelectionRound(
@@ -298,10 +428,19 @@ class QoSPathSelector:
 
             # Step 7: the receiver terminates the search.
             if selected.service_id == graph.receiver_id:
-                return self._success(selected, settled, rounds_run, trace)
+                stats = SelectionStats(
+                    rounds=rounds_run,
+                    optimize_calls=optimizer.optimize_calls - calls_before,
+                    optimize_memo_hits=optimizer.memo_hits - memo_hits_before,
+                    dominance_skips=dominance_skips,
+                    heap_pushes=heap.pushes,
+                    heap_settled_pops=heap.settled_pops,
+                    heap_stale_pops=heap.stale_pops,
+                )
+                return self._success(selected, settled, rounds_run, trace, stats)
 
             # Step 8: fold the settled service's neighbors into CS.
-            for edge in graph.out_edges(selected.service_id):
+            for edge in self._relaxation_edges(selected.service_id):
                 consider(edge, current_round=rounds_run)
 
         # Step 3: CS empty and the receiver was never reached.
@@ -315,6 +454,15 @@ class QoSPathSelector:
             rounds_run=rounds_run,
             trace=trace,
             failure_reason="candidate set exhausted before reaching the receiver",
+            stats=SelectionStats(
+                rounds=rounds_run,
+                optimize_calls=optimizer.optimize_calls - calls_before,
+                optimize_memo_hits=optimizer.memo_hits - memo_hits_before,
+                dominance_skips=dominance_skips,
+                heap_pushes=heap.pushes,
+                heap_settled_pops=heap.settled_pops,
+                heap_stale_pops=heap.stale_pops,
+            ),
         )
 
     def run_or_raise(self) -> SelectionResult:
@@ -349,27 +497,64 @@ class QoSPathSelector:
             names.append(self._graph.receiver_id)
         return tuple(names)
 
-    def _pick(self, candidates: Dict[str, _Entry]) -> _Entry:
-        """Highest satisfaction, ties resolved by the configured policy.
+    def _relaxation_edges(self, service_id: str) -> Iterable[Edge]:
+        """The just-settled vertex's out-edges, in relaxation order.
 
-        Entries are pre-sorted most-preferred-first for the tie-break, then
-        ``max`` (which keeps the first of equals) applies the primary
-        satisfaction criterion.
+        The graph caches the sorted adjacency at freeze time; the seed
+        implementation re-sorted per settle, which the test-only reference
+        selector reproduces by overriding this hook.
         """
-        entries = list(candidates.values())
-        receiver_id = self._graph.receiver_id
+        return self._graph.out_edges(service_id)
+
+    def _heap_key_fn(self) -> Callable[[_Entry], Tuple]:
+        """The composite heap key for the configured tie-break policy.
+
+        The seed ``_pick()`` pre-sorted ``CS`` most-preferred-first for the
+        policy, then took ``max`` by satisfaction (keeping the *first* of
+        equals) — i.e. it settled the entry minimizing
+        ``(-satisfaction, policy order)``.  The keys below encode exactly
+        that ordering, with the policy's string comparisons replaced by the
+        graph's frozen integer ranks:
+
+        - ``PAPER`` sorts by id descending, then update-round descending,
+          then receiver-last; successive stable sorts make the *last* key
+          primary, so ascending order is
+          ``(is_receiver, -update_round, -rank)``.
+        - ``ASCENDING_ID`` / ``DESCENDING_ID`` are ``rank`` / ``-rank``.
+        - ``INSERTION_ORDER`` is the first-entered index, preserved across
+          in-place candidate improvements.
+        """
         policy = self._tie_break
+        rank = self._graph.vertex_rank()
+        receiver_id = self._graph.receiver_id
         if policy is TieBreakPolicy.PAPER:
-            entries.sort(key=lambda e: service_sort_key(e.service_id), reverse=True)
-            entries.sort(key=lambda e: e.update_round, reverse=True)
-            entries.sort(key=lambda e: e.service_id == receiver_id)
-        elif policy is TieBreakPolicy.ASCENDING_ID:
-            entries.sort(key=lambda e: service_sort_key(e.service_id))
-        elif policy is TieBreakPolicy.DESCENDING_ID:
-            entries.sort(key=lambda e: service_sort_key(e.service_id), reverse=True)
-        else:  # INSERTION_ORDER
-            entries.sort(key=lambda e: e.insertion_index)
-        return max(entries, key=lambda e: e.satisfaction)
+            return lambda e: (
+                -e.satisfaction,
+                e.service_id == receiver_id,
+                -e.update_round,
+                -rank[e.service_id],
+            )
+        if policy is TieBreakPolicy.ASCENDING_ID:
+            return lambda e: (-e.satisfaction, rank[e.service_id])
+        if policy is TieBreakPolicy.DESCENDING_ID:
+            return lambda e: (-e.satisfaction, -rank[e.service_id])
+        return lambda e: (-e.satisfaction, e.insertion_index)
+
+    def _select_candidate(
+        self, candidates: Dict[str, _Entry], heap: LazySettleHeap
+    ) -> _Entry:
+        """Step 4 in ``O(log |CS|)``: pop the minimal live heap entry.
+
+        Every live candidate sits in the heap under its latest key, so the
+        first pop surviving the staleness check (identity against the
+        candidate map) is exactly the entry the seed's scan-and-sort pick
+        would have chosen.  Callers guarantee ``candidates`` is non-empty.
+        """
+        popped = heap.pop_current(
+            lambda entry: candidates.get(entry.service_id) is entry
+        )
+        assert popped is not None, "live candidates must be present in the heap"
+        return popped[1]
 
     @staticmethod
     def _success(
@@ -377,6 +562,7 @@ class QoSPathSelector:
         settled: Dict[str, _Entry],
         rounds_run: int,
         trace: Optional[SelectionTrace],
+        stats: Optional[SelectionStats] = None,
     ) -> SelectionResult:
         # Step 10: print the reverse path by following the "previous" links
         # from the receiver.  Caution: a settled service on the winning
@@ -412,6 +598,7 @@ class QoSPathSelector:
             accumulated_delay_ms=receiver_entry.accumulated_delay_ms,
             rounds_run=rounds_run,
             trace=trace,
+            stats=stats,
         )
 
 

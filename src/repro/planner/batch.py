@@ -25,6 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from repro.core.optimizer import OptimizeMemo
 from repro.core.parameters import ParameterSet
 from repro.core.selection import TieBreakPolicy
 from repro.formats.registry import FormatRegistry
@@ -77,6 +78,7 @@ class BatchPlanner:
         tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
         prune: bool = True,
         record_trace: bool = False,
+        optimize_memo: Optional[OptimizeMemo] = None,
     ) -> None:
         self._registry = registry
         self._parameters = parameters
@@ -87,7 +89,19 @@ class BatchPlanner:
         self._max_workers = max_workers
         self._tie_break = tie_break
         self._prune = prune
+        # Traces default *off* for batch planning: cached and batch plans
+        # drop them anyway, and a full SelectionTrace per plan is the
+        # single largest allocation on the hot path.  Opt back in with
+        # ``record_trace=True``; plan equality is unaffected (the trace is
+        # observability only — pinned by tests/test_batch_planner.py).
         self._record_trace = record_trace
+        # One optimize() memo shared by every planned session: distinct
+        # sessions over the same infrastructure repeat the same
+        # (upstream, caps, format, bandwidth) relaxations, so solved
+        # bisections transfer across the whole batch.
+        self._optimize_memo = (
+            optimize_memo if optimize_memo is not None else OptimizeMemo()
+        )
 
     @classmethod
     def for_scenario(cls, scenario: "Scenario", **kwargs) -> "BatchPlanner":
@@ -103,6 +117,11 @@ class BatchPlanner:
     @property
     def cache(self) -> PlanCache:
         return self._cache
+
+    @property
+    def optimize_memo(self) -> OptimizeMemo:
+        """The shared optimize() memo (stats feed :class:`PlannerReport`)."""
+        return self._optimize_memo
 
     # ------------------------------------------------------------------
     # Single-request planning
@@ -136,7 +155,17 @@ class BatchPlanner:
         )
 
     def plan_uncached(self, request: PlanRequest) -> SessionPlan:
-        """Plan one session from scratch (no cache lookup or insert)."""
+        """Plan one session from scratch (no cache lookup or insert).
+
+        Deliberately bypasses the shared optimize() memo as well: this is
+        the from-scratch baseline the batch-planner bench measures against,
+        so it must pay full planning cost every time.
+        """
+        return self._plan_fresh(request, optimize_memo=None)
+
+    def _plan_fresh(
+        self, request: PlanRequest, optimize_memo: Optional[OptimizeMemo]
+    ) -> SessionPlan:
         session = AdaptationSession(
             registry=self._registry,
             parameters=self._parameters,
@@ -151,14 +180,20 @@ class BatchPlanner:
             tie_break=self._tie_break,
             prune=self._prune,
             record_trace=self._record_trace,
+            optimize_memo=optimize_memo,
         )
         return session.plan(peer=request.peer)
 
     def plan(self, request: PlanRequest) -> SessionPlan:
-        """Plan one session through the cache (single-flight on miss)."""
+        """Plan one session through the cache (single-flight on miss).
+
+        Cache misses compute with the planner's shared optimize() memo, so
+        even distinct fingerprints reuse each other's solved relaxations.
+        """
         fingerprint = self.fingerprint(request)
         return self._cache.get_or_compute(
-            fingerprint, lambda: self.plan_uncached(request)
+            fingerprint,
+            lambda: self._plan_fresh(request, optimize_memo=self._optimize_memo),
         )
 
     # ------------------------------------------------------------------

@@ -92,6 +92,13 @@ class PlannerReport:
     evictions: int
     #: Wall-clock time for the batch (seconds).
     elapsed_s: float
+    #: Optimize() invocations across every planned session (0 when the
+    #: planner did not report them).
+    optimize_calls: int = 0
+    #: Optimize() invocations served from the shared memo.
+    optimize_memo_hits: int = 0
+    #: Selector settle rounds summed over the batch's planned sessions.
+    settle_rounds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -100,6 +107,13 @@ class PlannerReport:
         if lookups == 0:
             return 0.0
         return self.cache_hits / lookups
+
+    @property
+    def optimize_memo_hit_rate(self) -> float:
+        """Fraction of optimize() calls served from the memo."""
+        if self.optimize_calls == 0:
+            return 0.0
+        return self.optimize_memo_hits / self.optimize_calls
 
     @property
     def throughput_per_s(self) -> float:
@@ -121,4 +135,11 @@ class PlannerReport:
             f"invalidations:     {self.invalidations}",
             f"evictions:         {self.evictions}",
         ]
+        if self.optimize_calls:
+            lines.append(
+                f"optimize calls:    {self.optimize_calls} "
+                f"({self.optimize_memo_hit_rate * 100:.1f}% memoized)"
+            )
+        if self.settle_rounds:
+            lines.append(f"settle rounds:     {self.settle_rounds}")
         return "\n".join(lines)

@@ -79,6 +79,7 @@ class AdaptationSession:
         tie_break: TieBreakPolicy = TieBreakPolicy.PAPER,
         prune: bool = True,
         record_trace: bool = True,
+        optimize_memo=None,
     ) -> None:
         self._registry = registry
         self._parameters = parameters
@@ -93,6 +94,9 @@ class AdaptationSession:
         self._tie_break = tie_break
         self._prune = prune
         self._record_trace = record_trace
+        #: Optional shared :class:`~repro.core.optimizer.OptimizeMemo`;
+        #: lets a batch planner reuse solved relaxations across sessions.
+        self._optimize_memo = optimize_memo
 
     # ------------------------------------------------------------------
     # Planning
@@ -160,6 +164,7 @@ class AdaptationSession:
             peer=peer,
             tie_break=self._tie_break,
             record_trace=self._record_trace,
+            optimize_memo=self._optimize_memo,
         )
         result = selector.run()
         return SessionPlan(graph=graph, pruning=report, result=result)

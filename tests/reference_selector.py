@@ -1,0 +1,61 @@
+"""The seed linear-scan selector, kept verbatim as the equivalence oracle.
+
+:class:`SeedReferenceSelector` reproduces the pre-heap implementation of
+the Figure 4 algorithm through the three hot-path hooks
+:class:`~repro.core.selection.QoSPathSelector` exposes:
+
+- Step 4 is the seed's scan-and-triple-sort ``_pick`` over the whole
+  candidate map (the heap is ignored entirely);
+- relaxation edges are re-sorted on every settle, like the seed's
+  ``out_edges()`` did before the graph cached them at freeze time;
+- the dominance pre-filter is disabled, so every relaxation pays its
+  ``Optimize()`` call exactly as the seed did.
+
+The equivalence property suite runs this side by side with the production
+selector and asserts bit-identical :class:`SelectionResult`\\ s; the
+hot-path benchmark times it as the "seed selector" baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.graph import Edge
+from repro.core.selection import LazySettleHeap, QoSPathSelector, TieBreakPolicy
+from repro.services.catalog import service_sort_key
+
+__all__ = ["SeedReferenceSelector"]
+
+
+class SeedReferenceSelector(QoSPathSelector):
+    """Seed-equivalent selector: linear-scan pick, per-call edge sorts,
+    no dominance filter, no optimize memo."""
+
+    _use_dominance_filter = False
+
+    def _relaxation_edges(self, service_id: str) -> List[Edge]:
+        # The seed re-sorted the adjacency on every out_edges() call; the
+        # key matches the graph's frozen order, so only the cost differs.
+        return sorted(
+            self._graph.out_edges(service_id),
+            key=lambda e: (service_sort_key(e.target), e.format_name),
+        )
+
+    def _select_candidate(self, candidates: Dict, heap: LazySettleHeap):
+        # The seed's _pick(): pre-sort CS most-preferred-first for the
+        # tie-break policy, then take max by satisfaction (which keeps the
+        # first of equals).
+        entries = list(candidates.values())
+        receiver_id = self._graph.receiver_id
+        policy = self._tie_break
+        if policy is TieBreakPolicy.PAPER:
+            entries.sort(key=lambda e: service_sort_key(e.service_id), reverse=True)
+            entries.sort(key=lambda e: e.update_round, reverse=True)
+            entries.sort(key=lambda e: e.service_id == receiver_id)
+        elif policy is TieBreakPolicy.ASCENDING_ID:
+            entries.sort(key=lambda e: service_sort_key(e.service_id))
+        elif policy is TieBreakPolicy.DESCENDING_ID:
+            entries.sort(key=lambda e: service_sort_key(e.service_id), reverse=True)
+        else:  # INSERTION_ORDER
+            entries.sort(key=lambda e: e.insertion_index)
+        return max(entries, key=lambda e: e.satisfaction)

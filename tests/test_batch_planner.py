@@ -74,6 +74,60 @@ def test_empty_batch_is_a_noop():
     assert planner.plan_batch([]) == []
 
 
+def test_batch_traces_default_off_with_explicit_opt_in():
+    scenario = _scenario()
+    requests = synthetic_requests(scenario, 8, 4)
+    silent = BatchPlanner.for_scenario(scenario, cache=PlanCache())
+    plans = silent.plan_batch(requests)
+    assert all(plan.result.trace is None for plan in plans)
+    traced = BatchPlanner.for_scenario(
+        scenario, cache=PlanCache(), record_trace=True
+    )
+    traced_plans = traced.plan_batch(requests)
+    assert all(plan.result.trace is not None for plan in traced_plans)
+    # Plan equality is unaffected by tracing: everything the algorithm
+    # defines (path, formats, configuration, satisfaction, cost, rounds)
+    # matches; only the trace observability differs.
+    for silent_plan, traced_plan in zip(plans, traced_plans):
+        bare = traced_plan.result.__class__(
+            **{**traced_plan.result.__dict__, "trace": None, "stats": None}
+        )
+        silent_bare = silent_plan.result.__class__(
+            **{**silent_plan.result.__dict__, "stats": None}
+        )
+        assert bare == silent_bare
+
+
+def test_batch_shares_one_optimize_memo():
+    scenario = _scenario()
+    planner = BatchPlanner.for_scenario(scenario, cache=PlanCache())
+    planner.plan_batch(synthetic_requests(scenario, 24, 8))
+    memo_stats = planner.optimize_memo.stats
+    # Eight distinct device classes over one infrastructure: later cache
+    # misses replay relaxations solved by earlier ones.
+    assert memo_stats.lookups > 0
+    assert memo_stats.hits > 0
+    assert memo_stats.entries <= memo_stats.misses
+
+
+def test_plan_uncached_bypasses_optimize_memo():
+    scenario = _scenario()
+    planner = BatchPlanner.for_scenario(scenario, cache=PlanCache())
+    planner.plan_batch(synthetic_requests(scenario, 10, 5), use_cache=False)
+    # The from-scratch baseline must pay full cost: no memo traffic.
+    assert planner.optimize_memo.stats.lookups == 0
+
+
+def test_memoized_batch_equals_uncached_batch():
+    scenario = _scenario()
+    requests = synthetic_requests(scenario, 12, 6)
+    planner = BatchPlanner.for_scenario(scenario, cache=PlanCache())
+    cached = planner.plan_batch(requests)
+    uncached = planner.plan_batch(requests, use_cache=False)
+    for a, b in zip(cached, uncached):
+        assert a.result == b.result
+
+
 # ----------------------------------------------------------------------
 # Runtime wiring
 # ----------------------------------------------------------------------
@@ -145,6 +199,26 @@ def test_planner_report_summary_and_rates():
     zero = PlannerReport(0, 0, 0, 0, 0, 0, 0.0)
     assert zero.hit_rate == 0.0
     assert zero.throughput_per_s == 0.0
+    assert zero.optimize_memo_hit_rate == 0.0
+
+
+def test_planner_report_surfaces_optimize_counters():
+    report = PlannerReport(
+        sessions=10,
+        successes=10,
+        cache_hits=5,
+        cache_misses=5,
+        invalidations=0,
+        evictions=0,
+        elapsed_s=0.1,
+        optimize_calls=400,
+        optimize_memo_hits=300,
+        settle_rounds=57,
+    )
+    assert report.optimize_memo_hit_rate == 0.75
+    text = report.summary()
+    assert "optimize calls:    400 (75.0% memoized)" in text
+    assert "settle rounds:     57" in text
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@ from repro.network.placement import ServicePlacement
 from repro.network.topology import NetworkTopology
 from repro.profiles.content import ContentProfile
 from repro.profiles.device import DeviceProfile
-from repro.services.catalog import ServiceCatalog
+from repro.services.catalog import ServiceCatalog, service_sort_key
 from repro.services.descriptor import ServiceDescriptor
 
 
@@ -209,6 +209,33 @@ class TestGraphQueries:
         graph = simple_world()
         assert len(graph) == 4
         assert "T1" in graph and "zzz" not in graph
+
+    def test_adjacency_cached_at_freeze_time(self):
+        # out_edges/in_edges no longer re-sort per call: repeated queries
+        # return the same frozen tuple, in the seed's (id, format) order.
+        graph = simple_world()
+        for service_id in graph.vertex_ids():
+            out_first = graph.out_edges(service_id)
+            assert graph.out_edges(service_id) is out_first
+            assert list(out_first) == sorted(
+                out_first, key=lambda e: (service_sort_key(e.target), e.format_name)
+            )
+            in_first = graph.in_edges(service_id)
+            assert graph.in_edges(service_id) is in_first
+            assert list(in_first) == sorted(
+                in_first, key=lambda e: (service_sort_key(e.source), e.format_name)
+            )
+        with pytest.raises(UnknownServiceError):
+            graph.out_edges("ghost")
+        with pytest.raises(UnknownServiceError):
+            graph.in_edges("ghost")
+
+    def test_vertex_rank_matches_natural_order(self):
+        graph = simple_world()
+        rank = graph.vertex_rank()
+        ids = graph.vertex_ids()
+        assert [ids[rank[v]] for v in ids] == ids
+        assert sorted(ids, key=rank.__getitem__) == ids
 
 
 class TestPathEnumeration:

@@ -1,0 +1,150 @@
+"""Unit tests for the bounded Optimize() memo and its wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.optimizer import (
+    ConfigurationOptimizer,
+    OptimizationConstraints,
+    OptimizeMemo,
+)
+from repro.core.parameters import (
+    COLOR_DEPTH,
+    FRAME_RATE,
+    RESOLUTION,
+    standard_parameters,
+)
+from repro.core.satisfaction import (
+    CombinedSatisfaction,
+    HarmonicCombiner,
+    LinearSatisfaction,
+)
+from repro.errors import ValidationError
+from repro.formats.format import MediaFormat
+
+
+def make_optimizer(memo=None, ideal=30.0, degrade_order=None):
+    satisfaction = CombinedSatisfaction(
+        {FRAME_RATE: LinearSatisfaction(5.0, ideal)}, HarmonicCombiner()
+    )
+    return ConfigurationOptimizer(
+        standard_parameters(), satisfaction, degrade_order, memo=memo
+    )
+
+
+def make_constraints(bandwidth_bps=2e6, frame_rate=30.0):
+    return OptimizationConstraints(
+        upstream=Configuration(
+            {FRAME_RATE: frame_rate, RESOLUTION: 307_200.0, COLOR_DEPTH: 24.0}
+        ),
+        caps={FRAME_RATE: 60.0, RESOLUTION: 307_200.0, COLOR_DEPTH: 24.0},
+        fmt=MediaFormat(name="memo-fmt", compression_ratio=50.0),
+        bandwidth_bps=bandwidth_bps,
+    )
+
+
+class TestOptimizeMemo:
+    def test_repeated_call_hits_and_returns_equal_choice(self):
+        memo = OptimizeMemo()
+        optimizer = make_optimizer(memo=memo)
+        first = optimizer.optimize(make_constraints())
+        second = optimizer.optimize(make_constraints())
+        assert first == second
+        assert optimizer.optimize_calls == 2
+        assert optimizer.memo_hits == 1
+        assert memo.stats.hits == 1 and memo.stats.misses == 1
+
+    def test_memo_shared_across_optimizers_with_same_context(self):
+        memo = OptimizeMemo()
+        make_optimizer(memo=memo).optimize(make_constraints())
+        other = make_optimizer(memo=memo)
+        other.optimize(make_constraints())
+        assert other.memo_hits == 1
+
+    def test_different_context_never_collides(self):
+        # Same constraints, different satisfaction function: the context
+        # fingerprint must separate the entries.
+        memo = OptimizeMemo()
+        a = make_optimizer(memo=memo, ideal=30.0).optimize(make_constraints(5e5))
+        b = make_optimizer(memo=memo, ideal=60.0).optimize(make_constraints(5e5))
+        assert memo.stats.misses == 2 and memo.stats.hits == 0
+        assert a is not None and b is not None
+        assert a.satisfaction != b.satisfaction
+
+    def test_degrade_order_is_part_of_the_context(self):
+        memo = OptimizeMemo()
+        make_optimizer(memo=memo, degrade_order=[RESOLUTION]).optimize(
+            make_constraints()
+        )
+        other = make_optimizer(memo=memo, degrade_order=[COLOR_DEPTH])
+        other.optimize(make_constraints())
+        assert other.memo_hits == 0
+
+    def test_none_result_is_memoized(self):
+        # A resolution cap below the smallest discrete domain value leaves
+        # no feasible configuration: optimize() returns None, and the
+        # second call must hit the memo without recomputing.
+        infeasible = OptimizationConstraints(
+            upstream=Configuration(
+                {FRAME_RATE: 30.0, RESOLUTION: 307_200.0, COLOR_DEPTH: 24.0}
+            ),
+            caps={RESOLUTION: 1.0},
+            fmt=MediaFormat(name="memo-fmt", compression_ratio=50.0),
+            bandwidth_bps=2e6,
+        )
+        memo = OptimizeMemo()
+        optimizer = make_optimizer(memo=memo)
+        assert optimizer.optimize(infeasible) is None
+        assert optimizer.optimize(infeasible) is None
+        assert optimizer.memo_hits == 1
+
+    def test_lru_eviction_is_bounded(self):
+        memo = OptimizeMemo(max_entries=2)
+        optimizer = make_optimizer(memo=memo)
+        for rate in (10.0, 20.0, 30.0):
+            optimizer.optimize(make_constraints(frame_rate=rate))
+        assert len(memo) == 2
+        assert memo.stats.evictions == 1
+        # The oldest entry (rate=10) was evicted: re-solving it misses.
+        optimizer.optimize(make_constraints(frame_rate=10.0))
+        assert optimizer.memo_hits == 0
+
+    def test_clear_empties_entries(self):
+        memo = OptimizeMemo()
+        optimizer = make_optimizer(memo=memo)
+        optimizer.optimize(make_constraints())
+        memo.clear()
+        assert len(memo) == 0
+        optimizer.optimize(make_constraints())
+        assert optimizer.memo_hits == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValidationError):
+            OptimizeMemo(max_entries=0)
+
+    def test_no_memo_counts_calls_without_hits(self):
+        optimizer = make_optimizer()
+        optimizer.optimize(make_constraints())
+        optimizer.optimize(make_constraints())
+        assert optimizer.optimize_calls == 2
+        assert optimizer.memo_hits == 0
+
+    def test_memoized_equals_fresh(self):
+        memo = OptimizeMemo()
+        for bandwidth in (1e4, 1e5, 5e5, 2e6):
+            fresh = make_optimizer().optimize(make_constraints(bandwidth))
+            memoized = make_optimizer(memo=memo).optimize(
+                make_constraints(bandwidth)
+            )
+            assert fresh == memoized
+
+    def test_stats_hit_rate(self):
+        memo = OptimizeMemo()
+        assert memo.stats.hit_rate == 0.0
+        optimizer = make_optimizer(memo=memo)
+        optimizer.optimize(make_constraints())
+        optimizer.optimize(make_constraints())
+        optimizer.optimize(make_constraints())
+        assert memo.stats.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,117 @@
+"""Equivalence of the heap-based selector and the seed linear-scan seed.
+
+The tentpole contract: the production :class:`QoSPathSelector` (lazy
+settle heap, dominance pre-filter, cached edge order, optional optimize
+memo) must return **bit-identical** :class:`SelectionResult`\\ s — path,
+formats, configuration, satisfaction, cost, rounds, and full trace — to
+the seed implementation preserved in
+:mod:`tests.reference_selector`, under every :class:`TieBreakPolicy`.
+
+Hypothesis generates random scenarios; the fixed-seed sweep pins the
+policies × scenario grid deterministically on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import OptimizeMemo
+from repro.core.selection import QoSPathSelector, TieBreakPolicy
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+from tests.reference_selector import SeedReferenceSelector
+
+ALL_POLICIES = list(TieBreakPolicy)
+
+scenario_configs = st.builds(
+    SyntheticConfig,
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_services=st.integers(min_value=4, max_value=16),
+    n_formats=st.integers(min_value=5, max_value=10),
+    n_nodes=st.integers(min_value=3, max_value=8),
+    backbone_hops=st.integers(min_value=1, max_value=3),
+    preference_mode=st.sampled_from(["single", "rich"]),
+)
+
+
+def _run(selector_cls, scenario, graph, policy, memo=None):
+    return selector_cls.for_user(
+        graph=graph,
+        registry=scenario.registry,
+        parameters=scenario.parameters,
+        user=scenario.user,
+        tie_break=policy,
+        record_trace=True,
+        optimize_memo=memo,
+    ).run()
+
+
+def _assert_identical(production, reference):
+    # SelectionResult.stats is compare=False, so dataclass equality is
+    # exactly the paper-defined outcome: success flag, path, formats,
+    # configuration, satisfaction, cost, delay, rounds, and trace.
+    assert production == reference
+    # Spell out the load-bearing fields anyway so a failure names the
+    # divergence instead of dumping two whole results.
+    assert production.path == reference.path
+    assert production.formats == reference.formats
+    assert production.configuration == reference.configuration
+    assert production.satisfaction == reference.satisfaction
+    assert production.accumulated_cost == reference.accumulated_cost
+    assert production.rounds_run == reference.rounds_run
+    assert production.trace == reference.trace
+
+
+@settings(max_examples=30, deadline=None)
+@given(config=scenario_configs, data=st.data())
+def test_heap_selector_matches_seed_reference(config, data):
+    policy = data.draw(st.sampled_from(ALL_POLICIES))
+    scenario = generate_scenario(config)
+    graph = scenario.build_graph()
+    production = _run(QoSPathSelector, scenario, graph, policy)
+    reference = _run(SeedReferenceSelector, scenario, graph, policy)
+    _assert_identical(production, reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=scenario_configs, data=st.data())
+def test_memoized_selector_matches_seed_reference(config, data):
+    """A shared, pre-warmed memo must not change any result bit."""
+    policy = data.draw(st.sampled_from(ALL_POLICIES))
+    scenario = generate_scenario(config)
+    graph = scenario.build_graph()
+    memo = OptimizeMemo()
+    first = _run(QoSPathSelector, scenario, graph, policy, memo=memo)
+    warmed = _run(QoSPathSelector, scenario, graph, policy, memo=memo)
+    reference = _run(SeedReferenceSelector, scenario, graph, policy)
+    _assert_identical(first, reference)
+    _assert_identical(warmed, reference)
+    if warmed.stats is not None and warmed.stats.optimize_calls:
+        assert warmed.stats.optimize_memo_hits == warmed.stats.optimize_calls
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.value)
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_policy_grid_equivalence(policy, seed):
+    """Deterministic policy × scenario grid (no Hypothesis shrink noise)."""
+    scenario = generate_scenario(
+        SyntheticConfig(seed=seed, n_services=24, n_formats=8, n_nodes=6)
+    )
+    graph = scenario.build_graph()
+    production = _run(QoSPathSelector, scenario, graph, policy)
+    reference = _run(SeedReferenceSelector, scenario, graph, policy)
+    _assert_identical(production, reference)
+
+
+def test_stats_counters_are_populated():
+    scenario = generate_scenario(SyntheticConfig(seed=3, n_services=20))
+    graph = scenario.build_graph()
+    result = _run(QoSPathSelector, scenario, graph, TieBreakPolicy.PAPER)
+    assert result.stats is not None
+    assert result.stats.rounds == result.rounds_run
+    assert result.stats.heap_settled_pops == result.stats.rounds
+    assert result.stats.heap_pushes >= result.stats.heap_settled_pops
+    assert result.stats.optimize_calls > 0
+    assert result.stats.optimize_memo_hits == 0  # no memo attached
+    assert "optimize" in result.describe()
