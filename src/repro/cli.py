@@ -8,6 +8,7 @@ A small operational surface over the library::
     python -m repro.cli analyze figure6        # graph analytics
     python -m repro.cli catalog --seed 7       # dump a catalog as WSDL XML
     python -m repro.cli plan-batch --sessions 1000 --distinct 32 --compare
+    python -m repro.cli simulate --scenario failover-storm --seed 3
 
 (Also installed as the ``repro`` console script.)
 """
@@ -189,6 +190,32 @@ def cmd_plan_batch(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace, out) -> int:
+    from repro.sim import build_scenario, run_simulation
+
+    config = build_scenario(
+        args.scenario,
+        seed=args.seed,
+        sessions=args.sessions,
+        faults=not args.no_faults,
+        horizon_s=args.horizon,
+        trace_capacity=args.trace_capacity,
+    )
+    report = run_simulation(config)
+    if args.json:
+        print(report.to_json(include_sessions=not args.fleet_only), file=out)
+    elif args.markdown:
+        print(report.to_markdown(), file=out)
+    else:
+        print(report.summary(), file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(include_sessions=not args.fleet_only))
+            handle.write("\n")
+        print(f"wrote JSON report to {args.output}", file=out)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace, out) -> int:
     scenario = load_scenario(args.path)
     findings = lint_scenario(scenario)
@@ -281,6 +308,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time the uncached baseline and print the speedup",
     )
 
+    simulate = commands.add_parser(
+        "simulate",
+        help="run a deterministic multi-session fault-injection simulation",
+    )
+    simulate.add_argument(
+        "--scenario",
+        default="steady",
+        help="named campaign: steady, flash-crowd, failover-storm, link-churn",
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--sessions", type=int, default=200, help="organic session arrivals"
+    )
+    simulate.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="run the campaign without its fault schedule",
+    )
+    simulate.add_argument(
+        "--horizon", type=float, default=None, metavar="SECONDS",
+        help="hard virtual-time stop (default: run until the heap drains)",
+    )
+    simulate.add_argument(
+        "--trace-capacity", type=int, default=None, metavar="EVENTS",
+        help="bound the in-memory event trace to a ring buffer",
+    )
+    simulate.add_argument(
+        "--json", action="store_true", help="print the full JSON report"
+    )
+    simulate.add_argument(
+        "--markdown", action="store_true", help="print the markdown report"
+    )
+    simulate.add_argument(
+        "--fleet-only",
+        action="store_true",
+        help="omit per-session rows from JSON output",
+    )
+    simulate.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
+
     catalog = commands.add_parser("catalog", help="dump a catalog as WSDL XML")
     catalog.add_argument("--seed", type=int, default=0)
     catalog.add_argument(
@@ -303,6 +372,7 @@ _HANDLERS = {
     "solve": cmd_solve,
     "lint": cmd_lint,
     "plan-batch": cmd_plan_batch,
+    "simulate": cmd_simulate,
 }
 
 

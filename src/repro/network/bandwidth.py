@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ValidationError
@@ -60,7 +61,10 @@ class SinusoidalBandwidth(FluctuationModel):
         self._period = period_s
 
     def factor(self, link: Link, time_s: float) -> float:
-        phase = (hash(link.endpoints()) % 997) / 997.0 * 2.0 * math.pi
+        # crc32, not hash(): str hashing is salted per process
+        # (PYTHONHASHSEED), which would break cross-run determinism.
+        digest = zlib.crc32(f"{link.a}|{link.b}".encode("utf-8"))
+        phase = (digest % 997) / 997.0 * 2.0 * math.pi
         wave = 0.5 * (1.0 + math.sin(2.0 * math.pi * time_s / self._period + phase))
         return 1.0 - self._amplitude * wave
 

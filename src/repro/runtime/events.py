@@ -4,12 +4,19 @@ A tiny structured log: events carry a logical timestamp, a category, and a
 message.  Sessions and pipelines append as they work; tests assert on the
 sequence, and the examples print it as a narrative of what the framework
 did.
+
+Long-running consumers (the discrete-event simulator streams hundreds of
+thousands of events through one log) can bound memory by constructing the
+log with a ``capacity``: the log becomes a ring buffer that keeps the most
+recent ``capacity`` events and counts what it dropped.  The default
+(``capacity=None``) preserves the original unbounded behaviour.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Deque, Iterator, List, Optional, Union
 
 from repro.errors import ValidationError
 
@@ -29,21 +36,47 @@ class Event:
 
 
 class EventLog:
-    """Append-only, time-monotone event record."""
+    """Append-only, time-monotone event record.
 
-    def __init__(self) -> None:
-        self._events: List[Event] = []
+    With ``capacity`` set, the log keeps only the newest ``capacity``
+    events (a ring buffer); :attr:`dropped` counts how many fell off the
+    front.  Time monotonicity is enforced against the last *recorded*
+    event, so dropping old events never loosens the check.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValidationError("event-log capacity must be >= 1")
+        self._capacity = capacity
+        self._events: Union[List[Event], Deque[Event]] = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
+        self._dropped = 0
+        self._last_time: Optional[float] = None
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Ring-buffer bound, or ``None`` when unbounded."""
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer (0 when unbounded)."""
+        return self._dropped
 
     def record(self, time_s: float, category: str, message: str) -> Event:
         if not category:
             raise ValidationError("event category must be non-empty")
-        if self._events and time_s < self._events[-1].time_s:
+        if self._last_time is not None and time_s < self._last_time:
             raise ValidationError(
                 f"event time {time_s} precedes last event "
-                f"({self._events[-1].time_s})"
+                f"({self._last_time})"
             )
         event = Event(time_s=time_s, category=category, message=message)
+        if self._capacity is not None and len(self._events) == self._capacity:
+            self._dropped += 1  # deque(maxlen=...) evicts the oldest
         self._events.append(event)
+        self._last_time = time_s
         return event
 
     def __len__(self) -> int:

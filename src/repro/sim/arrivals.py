@@ -1,0 +1,60 @@
+"""Arrival processes: when sessions show up.
+
+Every process is a pure function of an explicitly injected
+:class:`random.Random` — the RNG-plumbing rule of the simulator (no
+module-level randomness anywhere) — so the same seed always produces the
+same arrival times, and therefore the same event trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ValidationError
+
+__all__ = ["ArrivalProcess", "UniformArrivals", "PoissonArrivals"]
+
+
+class ArrivalProcess:
+    """Produces the virtual arrival instants for one run."""
+
+    def times(self, count: int, rng: random.Random) -> List[float]:
+        """``count`` non-decreasing arrival times, driven only by ``rng``."""
+        raise NotImplementedError
+
+
+class UniformArrivals(ArrivalProcess):
+    """Evenly spaced arrivals over a window (a paced load test)."""
+
+    def __init__(self, over_s: float, start_s: float = 0.0) -> None:
+        if over_s < 0:
+            raise ValidationError("arrival window must be >= 0")
+        self._over_s = over_s
+        self._start_s = start_s
+
+    def times(self, count: int, rng: random.Random) -> List[float]:
+        if count <= 0:
+            return []
+        if count == 1:
+            return [self._start_s]
+        step = self._over_s / (count - 1) if count > 1 else 0.0
+        return [self._start_s + i * step for i in range(count)]
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a fixed rate (the classic open-loop load)."""
+
+    def __init__(self, rate_per_s: float, start_s: float = 0.0) -> None:
+        if rate_per_s <= 0:
+            raise ValidationError("arrival rate must be positive")
+        self._rate = rate_per_s
+        self._start_s = start_s
+
+    def times(self, count: int, rng: random.Random) -> List[float]:
+        times: List[float] = []
+        t = self._start_s
+        for _ in range(max(0, count)):
+            t += rng.expovariate(self._rate)
+            times.append(t)
+        return times

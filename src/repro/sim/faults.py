@@ -1,0 +1,194 @@
+"""Fault injection: the controlled dynamics a run is evaluated under.
+
+A :class:`FaultInjector` is a declarative description of one disturbance;
+``install(run)`` translates it into events on the run's simulator that
+mutate the shared :class:`~repro.sim.world.SimWorld` at the right virtual
+instants.  Because installation happens before the clock starts and every
+callback is deterministic, a fault schedule is part of the scenario
+definition — same faults + same seed = same trace digest.
+
+The taxonomy:
+
+- :class:`LinkDegradation` — one link's capacity ramps down to a factor
+  and back (congestion, cross-traffic, a flaky last mile);
+- :class:`ServiceCrash` — an intermediary adaptation service dies and
+  later recovers (process crash; sessions mid-chain are interrupted);
+- :class:`RegionalOutage` — a set of nodes goes dark together (rack or
+  region failure, the *correlated* case admission control cannot see
+  coming);
+- :class:`FlashCrowd` — a burst of extra session arrivals compressed into
+  a short window (the thundering herd).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "FaultInjector",
+    "LinkDegradation",
+    "ServiceCrash",
+    "RegionalOutage",
+    "FlashCrowd",
+]
+
+
+class FaultInjector:
+    """One disturbance, installable onto a simulation run."""
+
+    def install(self, run) -> None:
+        """Schedule this fault's events on ``run`` (a ``SimulationRun``)."""
+        raise NotImplementedError
+
+
+class LinkDegradation(FaultInjector):
+    """Ramp one link's capacity down to ``factor`` and restore it later."""
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        start_s: float,
+        duration_s: float,
+        factor: float = 0.0,
+        ramp_steps: int = 1,
+        ramp_s: float = 0.0,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValidationError("fault duration must be positive")
+        if not 0.0 <= factor <= 1.0:
+            raise ValidationError("link factor must lie in [0, 1]")
+        if ramp_steps < 1:
+            raise ValidationError("ramp needs at least one step")
+        if ramp_s < 0 or ramp_s >= duration_s:
+            raise ValidationError("ramp must fit inside the fault window")
+        self.a, self.b = a, b
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.factor = factor
+        self.ramp_steps = ramp_steps
+        self.ramp_s = ramp_s
+
+    def install(self, run) -> None:
+        world, sim = run.world, run.sim
+
+        def step_to(value: float):
+            def apply() -> None:
+                world.set_link_factor(self.a, self.b, value)
+                sim.record(
+                    "fault",
+                    f"link {self.a}--{self.b} capacity x{value:.2f}",
+                )
+
+            return apply
+
+        for step in range(1, self.ramp_steps + 1):
+            value = 1.0 - (1.0 - self.factor) * step / self.ramp_steps
+            offset = (
+                self.ramp_s * (step - 1) / max(1, self.ramp_steps - 1)
+                if self.ramp_steps > 1
+                else 0.0
+            )
+            sim.schedule_at(self.start_s + offset, step_to(value), kind="fault")
+        sim.schedule_at(
+            self.start_s + self.duration_s, step_to(1.0), kind="fault"
+        )
+
+
+class ServiceCrash(FaultInjector):
+    """Crash one intermediary service, recover it after a downtime."""
+
+    def __init__(self, service_id: str, start_s: float, downtime_s: float) -> None:
+        if downtime_s <= 0:
+            raise ValidationError("downtime must be positive")
+        self.service_id = service_id
+        self.start_s = start_s
+        self.downtime_s = downtime_s
+
+    def install(self, run) -> None:
+        world, sim = run.world, run.sim
+
+        def crash() -> None:
+            world.crash_service(self.service_id)
+            sim.record("fault", f"service {self.service_id} crashed")
+
+        def recover() -> None:
+            world.recover_service(self.service_id)
+            sim.record("fault", f"service {self.service_id} recovered")
+
+        sim.schedule_at(self.start_s, crash, kind="fault")
+        sim.schedule_at(self.start_s + self.downtime_s, recover, kind="fault")
+
+
+class RegionalOutage(FaultInjector):
+    """Take a whole set of nodes down together, then bring them back.
+
+    Every link touching a downed node reads as zero capacity and every
+    service placed there as crashed — the correlated-failure case where
+    per-link or per-service reasoning underestimates the blast radius.
+    """
+
+    def __init__(
+        self, nodes: Sequence[str], start_s: float, duration_s: float
+    ) -> None:
+        if not nodes:
+            raise ValidationError("an outage needs at least one node")
+        if duration_s <= 0:
+            raise ValidationError("outage duration must be positive")
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.start_s = start_s
+        self.duration_s = duration_s
+
+    def install(self, run) -> None:
+        world, sim = run.world, run.sim
+
+        def fail() -> None:
+            for node in self.nodes:
+                world.fail_node(node)
+            sim.record(
+                "fault", f"regional outage: {','.join(self.nodes)} down"
+            )
+
+        def restore() -> None:
+            for node in self.nodes:
+                world.restore_node(node)
+            sim.record(
+                "fault", f"regional outage over: {','.join(self.nodes)} up"
+            )
+
+        sim.schedule_at(self.start_s, fail, kind="fault")
+        sim.schedule_at(self.start_s + self.duration_s, restore, kind="fault")
+
+
+class FlashCrowd(FaultInjector):
+    """A burst of extra arrivals compressed into a short window.
+
+    The burst draws its sessions from the run's request stream — the same
+    device-class cycling as organic arrivals — so the crowd competes for
+    exactly the resources the steady load uses.
+    """
+
+    def __init__(self, start_s: float, sessions: int, over_s: float = 1.0) -> None:
+        if sessions < 1:
+            raise ValidationError("a flash crowd needs at least one session")
+        if over_s <= 0:
+            raise ValidationError("burst window must be positive")
+        self.start_s = start_s
+        self.sessions = sessions
+        self.over_s = over_s
+
+    def install(self, run) -> None:
+        run.sim.schedule_at(
+            self.start_s,
+            lambda: run.sim.record(
+                "fault",
+                f"flash crowd: {self.sessions} arrivals over "
+                f"{self.over_s:.1f}s",
+            ),
+            kind="fault",
+        )
+        step = self.over_s / self.sessions
+        for index in range(self.sessions):
+            run.add_session(self.start_s + index * step)

@@ -1,0 +1,242 @@
+"""Simulation outcomes: per-session QoE plus fleet-level aggregates.
+
+A :class:`SessionOutcome` is the frozen record one simulated session
+leaves behind; a :class:`SimReport` aggregates a whole run — admission and
+completion counts, satisfaction and stall percentiles, replan totals, and
+the event-trace digest that the determinism gate compares across runs.
+Reports export as a stable ``dict`` / JSON document and as markdown, and
+every number in them is a pure function of (scenario, seed), so two runs
+of the same configuration serialize bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["SessionOutcome", "SimReport", "percentile"]
+
+#: Terminal session states.
+REJECTED = "rejected"
+COMPLETED = "completed"
+ABANDONED = "abandoned"
+ABORTED = "aborted"
+TRUNCATED = "truncated"  # still live when the horizon cut the run short
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation noise)."""
+    if not values:
+        return 0.0
+    if not 0.0 < q <= 100.0:
+        raise ValueError("percentile must lie in (0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """What one session experienced, start to finish."""
+
+    session_id: int
+    device_id: str
+    arrival_s: float
+    end_s: float
+    state: str
+    admitted: bool
+    #: Satisfaction the initial plan promised (0.0 when rejected).
+    planned_satisfaction: float
+    #: Time-weighted mean of the observed satisfaction while admitted.
+    mean_satisfaction: float
+    #: Seconds delivering essentially nothing (below the stall floor).
+    stall_s: float
+    #: Seconds delivering below the replan floor but above a stall.
+    degraded_s: float
+    replans: int
+    failed_replans: int
+    #: Times the streaming chain broke outright (crash / dead route).
+    interruptions: int
+    abandoned: bool
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Aggregate outcome of one simulation run."""
+
+    scenario: str
+    seed: int
+    horizon_s: float
+    events_processed: int
+    trace_events: int
+    trace_dropped: int
+    trace_digest: str
+    outcomes: Tuple[SessionOutcome, ...]
+
+    # ------------------------------------------------------------------
+    # Fleet-level views
+    # ------------------------------------------------------------------
+    @property
+    def sessions(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for o in self.outcomes if o.admitted)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for o in self.outcomes if o.state == REJECTED)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.state == COMPLETED)
+
+    @property
+    def abandoned_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.abandoned)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for o in self.outcomes if o.state == ABORTED)
+
+    @property
+    def admission_rate(self) -> float:
+        return self.admitted / self.sessions if self.sessions else 0.0
+
+    @property
+    def abandonment_rate(self) -> float:
+        return self.abandoned_count / self.admitted if self.admitted else 0.0
+
+    @property
+    def total_replans(self) -> int:
+        return sum(o.replans for o in self.outcomes)
+
+    @property
+    def total_failed_replans(self) -> int:
+        return sum(o.failed_replans for o in self.outcomes)
+
+    @property
+    def total_stall_s(self) -> float:
+        return sum(o.stall_s for o in self.outcomes)
+
+    @property
+    def mean_satisfaction(self) -> float:
+        admitted = [o.mean_satisfaction for o in self.outcomes if o.admitted]
+        return sum(admitted) / len(admitted) if admitted else 0.0
+
+    def satisfaction_percentiles(self) -> Dict[str, float]:
+        values = [o.mean_satisfaction for o in self.outcomes if o.admitted]
+        return {
+            "p50": percentile(values, 50.0),
+            "p10": percentile(values, 10.0),
+            "p1": percentile(values, 1.0),
+        }
+
+    def stall_percentiles(self) -> Dict[str, float]:
+        values = [o.stall_s for o in self.outcomes if o.admitted]
+        return {
+            "p50": percentile(values, 50.0),
+            "p90": percentile(values, 90.0),
+            "p99": percentile(values, 99.0),
+        }
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self, include_sessions: bool = True) -> Dict:
+        """A JSON-ready dict; key order is fixed for stable serialization."""
+        payload: Dict = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "events_processed": self.events_processed,
+            "trace_events": self.trace_events,
+            "trace_dropped": self.trace_dropped,
+            "trace_digest": self.trace_digest,
+            "fleet": {
+                "sessions": self.sessions,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "aborted": self.aborted,
+                "abandoned": self.abandoned_count,
+                "admission_rate": self.admission_rate,
+                "abandonment_rate": self.abandonment_rate,
+                "mean_satisfaction": self.mean_satisfaction,
+                "satisfaction_percentiles": self.satisfaction_percentiles(),
+                "stall_percentiles": self.stall_percentiles(),
+                "total_stall_s": self.total_stall_s,
+                "replans": self.total_replans,
+                "failed_replans": self.total_failed_replans,
+            },
+        }
+        if include_sessions:
+            payload["sessions"] = [asdict(o) for o in self.outcomes]
+        return payload
+
+    def to_json(self, include_sessions: bool = True) -> str:
+        return json.dumps(self.to_dict(include_sessions), indent=2)
+
+    def to_markdown(self) -> str:
+        """A fleet-level summary table plus the determinism digest."""
+        sat = self.satisfaction_percentiles()
+        stall = self.stall_percentiles()
+        lines = [
+            f"# Simulation report — {self.scenario} (seed {self.seed})",
+            "",
+            f"Virtual horizon {self.horizon_s:.1f}s, "
+            f"{self.events_processed} events processed.",
+            "",
+            "| metric | value |",
+            "| --- | --- |",
+            f"| sessions | {self.sessions} |",
+            f"| admitted | {self.admitted} "
+            f"({self.admission_rate * 100:.1f}%) |",
+            f"| completed | {self.completed} |",
+            f"| aborted | {self.aborted} |",
+            f"| abandoned | {self.abandoned_count} "
+            f"({self.abandonment_rate * 100:.1f}% of admitted) |",
+            f"| mean satisfaction | {self.mean_satisfaction:.4f} |",
+            f"| satisfaction p50/p10/p1 | {sat['p50']:.4f} / "
+            f"{sat['p10']:.4f} / {sat['p1']:.4f} |",
+            f"| stall seconds p50/p90/p99 | {stall['p50']:.1f} / "
+            f"{stall['p90']:.1f} / {stall['p99']:.1f} |",
+            f"| total stall time | {self.total_stall_s:.1f}s |",
+            f"| replans (failed) | {self.total_replans} "
+            f"({self.total_failed_replans}) |",
+            "",
+            f"Event-trace digest: `{self.trace_digest}`"
+            + (
+                f" ({self.trace_events} events, {self.trace_dropped} "
+                "dropped from the ring buffer)"
+            ),
+        ]
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """A compact plain-text report for the CLI."""
+        sat = self.satisfaction_percentiles()
+        lines = [
+            f"scenario:          {self.scenario} (seed {self.seed})",
+            f"virtual horizon:   {self.horizon_s:.1f}s "
+            f"({self.events_processed} events)",
+            f"sessions:          {self.sessions} "
+            f"({self.admitted} admitted, {self.rejected} rejected)",
+            f"outcomes:          {self.completed} completed, "
+            f"{self.aborted} aborted, {self.abandoned_count} abandoned",
+            f"mean satisfaction: {self.mean_satisfaction:.4f} "
+            f"(p50 {sat['p50']:.4f}, p10 {sat['p10']:.4f}, p1 {sat['p1']:.4f})",
+            f"stall time:        {self.total_stall_s:.1f}s total",
+            f"replans:           {self.total_replans} "
+            f"({self.total_failed_replans} failed)",
+            f"trace digest:      {self.trace_digest}",
+        ]
+        return "\n".join(lines)
+
+
+def outcomes_sorted(outcomes: List[SessionOutcome]) -> Tuple[SessionOutcome, ...]:
+    """Canonical outcome order (by session id) for report construction."""
+    return tuple(sorted(outcomes, key=lambda o: o.session_id))

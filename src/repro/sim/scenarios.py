@@ -1,0 +1,214 @@
+"""Named simulation scenarios: reproducible stress campaigns.
+
+Each preset pairs a synthetic base scenario with an arrival process and a
+fault schedule whose targets are derived *from the generated scenario
+itself* (the backbone services, the widest sender-to-receiver route), so
+any seed yields a coherent campaign:
+
+- ``steady`` — uniform arrivals, no faults; the admission-control and
+  capacity baseline;
+- ``flash-crowd`` — Poisson background load plus a burst of extra
+  arrivals compressed into a few seconds mid-run;
+- ``failover-storm`` — the backbone adaptation services crash in a
+  staggered wave while the main route degrades, forcing mass replanning;
+- ``link-churn`` — the links of the primary route ramp down and recover
+  on overlapping windows, so capacity keeps shifting under live sessions.
+
+``build_scenario(name, ...)`` is the CLI entry point; ``SCENARIOS`` maps
+names to builders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.sim.arrivals import PoissonArrivals, UniformArrivals
+from repro.sim.faults import (
+    FaultInjector,
+    FlashCrowd,
+    LinkDegradation,
+    RegionalOutage,
+    ServiceCrash,
+)
+from repro.sim.runner import SimulationConfig
+from repro.workloads.scenario import Scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+
+#: Builders take (seed, sessions, enable_faults) and return a config.
+ScenarioBuilder = Callable[[int, int, bool], SimulationConfig]
+
+
+def _base(seed: int) -> Scenario:
+    """The shared synthetic world every preset runs on."""
+    return generate_scenario(
+        SyntheticConfig(
+            seed=seed,
+            n_services=24,
+            n_formats=10,
+            n_nodes=12,
+            extra_links=10,
+            backbone_hops=3,
+        )
+    )
+
+
+def _primary_route(scenario: Scenario) -> List[str]:
+    route = scenario.topology.widest_path(
+        scenario.sender_node, scenario.receiver_node
+    )
+    if route is None or len(route) < 2:  # pragma: no cover - generator
+        raise ValidationError("scenario topology is disconnected")
+    return route
+
+
+def _backbone_services(scenario: Scenario) -> List[str]:
+    return sorted(
+        descriptor.service_id
+        for descriptor in scenario.catalog
+        if descriptor.service_id.startswith("S")
+    )
+
+
+def _steady(seed: int, sessions: int, faults: bool) -> SimulationConfig:
+    scenario = _base(seed)
+    return SimulationConfig(
+        scenario=scenario,
+        name="steady",
+        seed=seed,
+        sessions=sessions,
+        arrivals=UniformArrivals(over_s=60.0),
+        session_duration_s=30.0,
+        faults=(),
+    )
+
+
+def _flash_crowd(seed: int, sessions: int, faults: bool) -> SimulationConfig:
+    scenario = _base(seed)
+    burst = max(1, sessions // 2)
+    schedule: Tuple[FaultInjector, ...] = (
+        (FlashCrowd(start_s=30.0, sessions=burst, over_s=5.0),)
+        if faults
+        else ()
+    )
+    return SimulationConfig(
+        scenario=scenario,
+        name="flash-crowd",
+        seed=seed,
+        sessions=sessions,
+        arrivals=PoissonArrivals(rate_per_s=max(0.5, sessions / 60.0)),
+        session_duration_s=25.0,
+        faults=schedule,
+    )
+
+
+def _failover_storm(seed: int, sessions: int, faults: bool) -> SimulationConfig:
+    scenario = _base(seed)
+    schedule: List[FaultInjector] = []
+    if faults:
+        # The backbone services crash in a staggered wave...
+        for index, service_id in enumerate(_backbone_services(scenario)):
+            schedule.append(
+                ServiceCrash(
+                    service_id=service_id,
+                    start_s=20.0 + 6.0 * index,
+                    downtime_s=12.0,
+                )
+            )
+        # ...while the primary route's first link collapses, and a
+        # mid-route node blacks out entirely (the correlated case).
+        route = _primary_route(scenario)
+        schedule.append(
+            LinkDegradation(
+                route[0],
+                route[1],
+                start_s=24.0,
+                duration_s=16.0,
+                factor=0.1,
+                ramp_steps=4,
+                ramp_s=4.0,
+            )
+        )
+        if len(route) > 2:
+            schedule.append(
+                RegionalOutage(
+                    nodes=(route[len(route) // 2],),
+                    start_s=32.0,
+                    duration_s=10.0,
+                )
+            )
+    return SimulationConfig(
+        scenario=scenario,
+        name="failover-storm",
+        seed=seed,
+        sessions=sessions,
+        arrivals=UniformArrivals(over_s=50.0),
+        session_duration_s=35.0,
+        faults=tuple(schedule),
+    )
+
+
+def _link_churn(seed: int, sessions: int, faults: bool) -> SimulationConfig:
+    scenario = _base(seed)
+    schedule: List[FaultInjector] = []
+    if faults:
+        route = _primary_route(scenario)
+        hops = list(zip(route, route[1:]))
+        for index, (a, b) in enumerate(hops):
+            schedule.append(
+                LinkDegradation(
+                    a,
+                    b,
+                    start_s=15.0 + 8.0 * index,
+                    duration_s=14.0,
+                    factor=0.25,
+                    ramp_steps=3,
+                    ramp_s=3.0,
+                )
+            )
+    return SimulationConfig(
+        scenario=scenario,
+        name="link-churn",
+        seed=seed,
+        sessions=sessions,
+        arrivals=UniformArrivals(over_s=55.0),
+        session_duration_s=30.0,
+        faults=tuple(schedule),
+    )
+
+
+SCENARIOS: Dict[str, ScenarioBuilder] = {
+    "steady": _steady,
+    "flash-crowd": _flash_crowd,
+    "failover-storm": _failover_storm,
+    "link-churn": _link_churn,
+}
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def build_scenario(
+    name: str,
+    seed: int = 0,
+    sessions: int = 200,
+    faults: bool = True,
+    horizon_s: Optional[float] = None,
+    trace_capacity: Optional[int] = None,
+) -> SimulationConfig:
+    """Build one named campaign, optionally overriding run bounds."""
+    if name not in SCENARIOS:
+        raise ValidationError(
+            f"unknown scenario {name!r}; choose from {', '.join(scenario_names())}"
+        )
+    if sessions < 1:
+        raise ValidationError("session count must be >= 1")
+    config = SCENARIOS[name](seed, sessions, faults)
+    if horizon_s is not None:
+        config.horizon_s = horizon_s
+    if trace_capacity is not None:
+        config.trace_capacity = trace_capacity
+    return config

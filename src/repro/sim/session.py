@@ -1,0 +1,403 @@
+"""One simulated adaptive session: admit, stream, replan, finish.
+
+A :class:`SimSession` is the event-driven counterpart of
+:class:`~repro.runtime.replanning.AdaptiveSession`: instead of stepping a
+private loop over its own copy of the network, it lives on the shared
+:class:`~repro.sim.world.SimWorld` with hundreds of concurrent peers and
+advances only when the simulator fires one of its events:
+
+- **arrival** — plan against the effective residual infrastructure and
+  reserve the chain's bandwidth, or be rejected;
+- **segment ticks** — every ``segment_s`` virtual seconds, observe the
+  satisfaction the current chain actually delivers under the fault
+  overlay, accumulate QoE, and trigger a replan when delivery falls below
+  the replan floor (or the chain breaks outright — a crashed service or a
+  dead route);
+- **finish** — at the session's end, release reservations and emit a
+  :class:`~repro.sim.report.SessionOutcome`.
+
+Failure is data, never an exception: a session that cannot replan stalls,
+retries on later ticks, and — after ``abandon_after_stalls`` consecutive
+stalled segments — abandons, exactly the degradation taxonomy the report
+aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.parameters import FRAME_RATE
+from repro.planner.batch import PlanRequest
+from repro.runtime.session import SessionPlan
+from repro.sim.engine import Simulator
+from repro.sim.report import (
+    ABANDONED,
+    ABORTED,
+    COMPLETED,
+    REJECTED,
+    TRUNCATED,
+    SessionOutcome,
+)
+from repro.sim.world import HopLease, SimWorld
+
+__all__ = ["SimSession"]
+
+_ENDPOINTS = ("sender", "receiver")
+
+
+class SimSession:
+    """State machine for one session over the shared world."""
+
+    def __init__(
+        self,
+        session_id: int,
+        request: PlanRequest,
+        arrival_s: float,
+        duration_s: float,
+        sim: Simulator,
+        world: SimWorld,
+        on_done: Callable[[SessionOutcome], None],
+        segment_s: float = 2.0,
+        replan_threshold: float = 0.8,
+        stall_satisfaction: float = 0.01,
+        abandon_after_stalls: int = 0,
+        admission_floor: float = 0.0,
+    ) -> None:
+        self.session_id = session_id
+        self._request = request
+        self._arrival_s = arrival_s
+        self._end_s = arrival_s + duration_s
+        self._sim = sim
+        self._world = world
+        self._on_done = on_done
+        self._segment_s = segment_s
+        self._replan_threshold = replan_threshold
+        self._stall_floor = stall_satisfaction
+        self._abandon_after = abandon_after_stalls
+        self._admission_floor = admission_floor
+        self._satisfaction = request.user.satisfaction()
+
+        # Streaming state
+        self._plan: Optional[SessionPlan] = None
+        self._leases: List[HopLease] = []
+        self._services: Tuple[str, ...] = ()
+        self._config: Optional[Configuration] = None
+        self._planned_fps = 0.0
+        self._current_planned_sat = 0.0
+
+        # QoE accounting
+        self._admitted = False
+        self._initial_satisfaction = 0.0
+        self._last_check = arrival_s
+        self._weighted_satisfaction = 0.0
+        self._observed_s = 0.0
+        self._stall_s = 0.0
+        self._degraded_s = 0.0
+        self._replans = 0
+        self._failed_replans = 0
+        self._interruptions = 0
+        self._consecutive_stalls = 0
+        self._final_state: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle events (wired onto the simulator by the runner)
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._final_state is not None
+
+    @property
+    def started(self) -> bool:
+        return self._admitted or self._final_state is not None
+
+    def on_arrival(self) -> None:
+        plan = self._world.plan(self._request)
+        if plan is None or plan.result.satisfaction < self._admission_floor:
+            reason = "no feasible chain" if plan is None else "below floor"
+            self._sim.record(
+                "reject", f"session {self.session_id}: {reason}"
+            )
+            self._finalize(REJECTED)
+            return
+        leases = self._world.reserve_plan(
+            plan, self._request, label=f"session-{self.session_id}"
+        )
+        if leases is None:
+            self._sim.record(
+                "reject",
+                f"session {self.session_id}: chain unreservable",
+            )
+            self._finalize(REJECTED)
+            return
+        self._admitted = True
+        self._initial_satisfaction = plan.result.satisfaction
+        self._adopt(plan, leases)
+        self._sim.record(
+            "admit",
+            f"session {self.session_id}: {','.join(plan.result.path)} "
+            f"(S={plan.result.satisfaction:.3f})",
+        )
+        self._last_check = self._sim.now
+        self._schedule_tick()
+
+    def on_tick(self) -> None:
+        if self.done:
+            return
+        now = self._sim.now
+        interval = now - self._last_check
+        self._last_check = now
+
+        if self._leases:
+            fraction = self._delivery_fraction()
+            observed = self._observe(fraction)
+            self._integrate(observed, interval)
+            floor = self._replan_threshold * self._current_planned_sat
+            if fraction <= 0.0:
+                self._interruptions += 1
+                self._sim.record(
+                    "interrupt",
+                    f"session {self.session_id}: chain broken "
+                    f"({','.join(self._services) or 'direct'})",
+                )
+                self._world.release(self._leases)
+                self._leases = []
+                self._try_acquire()
+            elif observed + 1e-12 < floor:
+                self._sim.record(
+                    "degraded",
+                    f"session {self.session_id}: S={observed:.3f} "
+                    f"< floor {floor:.3f}",
+                )
+                self._try_switch(observed)
+        else:
+            # Stalled with no chain: dead air, retry admission.
+            self._integrate(0.0, interval)
+            self._try_acquire()
+
+        if (
+            self._abandon_after > 0
+            and self._consecutive_stalls >= self._abandon_after
+        ):
+            if self._leases:
+                self._world.release(self._leases)
+                self._leases = []
+            self._sim.record(
+                "abandon",
+                f"session {self.session_id}: "
+                f"{self._consecutive_stalls} stalled segments",
+            )
+            self._finalize(ABANDONED)
+            return
+
+        if now >= self._end_s - 1e-9:
+            self._finish()
+        else:
+            self._schedule_tick()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def _delivery_fraction(self) -> float:
+        """Fraction of the planned rate the chain gets right now (0 = dead)."""
+        if any(self._world.service_is_down(sid) for sid in self._services):
+            return 0.0
+        fraction = 1.0
+        for lease in self._leases:
+            fraction = min(fraction, self._world.supply_fraction(lease.route))
+            if fraction <= 0.0:
+                return 0.0
+        return fraction
+
+    def _observe(self, fraction: float) -> float:
+        """Satisfaction of the planned configuration at ``fraction`` rate."""
+        if fraction <= 0.0 or self._config is None:
+            return 0.0
+        if fraction >= 1.0 or self._planned_fps <= 0.0:
+            config = self._config
+        else:
+            config = self._config.with_value(
+                FRAME_RATE, self._planned_fps * fraction
+            )
+        return self._satisfaction_of(config)
+
+    def _satisfaction_of(self, config: Configuration) -> float:
+        values = [
+            self._satisfaction.individual(name, config[name])
+            for name in self._satisfaction.parameter_names()
+            if name in config
+        ]
+        return self._satisfaction.combiner(values) if values else 0.0
+
+    def _integrate(self, observed: float, interval: float) -> None:
+        if interval <= 0:
+            return
+        self._weighted_satisfaction += observed * interval
+        self._observed_s += interval
+        if observed <= self._stall_floor:
+            self._stall_s += interval
+            self._consecutive_stalls += 1
+        else:
+            self._consecutive_stalls = 0
+            if observed + 1e-12 < self._replan_threshold * self._current_planned_sat:
+                self._degraded_s += interval
+
+    # ------------------------------------------------------------------
+    # Replanning
+    # ------------------------------------------------------------------
+    def _adopt(self, plan: SessionPlan, leases: List[HopLease]) -> None:
+        self._plan = plan
+        self._leases = leases
+        self._services = tuple(
+            sid for sid in plan.result.path if sid not in _ENDPOINTS
+        )
+        self._config = plan.result.configuration
+        self._planned_fps = (
+            self._config.get_value(FRAME_RATE, 0.0) or 0.0
+            if self._config is not None
+            else 0.0
+        )
+        self._current_planned_sat = plan.result.satisfaction
+
+    def _try_acquire(self) -> None:
+        """Plan and reserve from nothing (post-interrupt or stalled)."""
+        plan = self._world.plan(self._request)
+        leases = (
+            self._world.reserve_plan(
+                plan, self._request, label=f"session-{self.session_id}"
+            )
+            if plan is not None
+            else None
+        )
+        if plan is not None and leases is not None:
+            self._adopt(plan, leases)
+            self._replans += 1
+            self._sim.record(
+                "replan",
+                f"session {self.session_id}: rejoined via "
+                f"{','.join(plan.result.path)} "
+                f"(S={plan.result.satisfaction:.3f})",
+            )
+        else:
+            self._failed_replans += 1
+            self._sim.record(
+                "replan-failed",
+                f"session {self.session_id}: no feasible chain",
+            )
+
+    def _try_switch(self, observed: float) -> None:
+        """Replan while still holding the current (degraded) chain.
+
+        The candidate is planned *before* releasing the old chain — the
+        session's own reservations count against the candidate, which is
+        pessimistic but never leaves the session chainless when no better
+        chain exists.
+        """
+        candidate = self._world.plan(self._request)
+        if candidate is None or candidate.result.satisfaction <= observed + 1e-9:
+            self._failed_replans += 1
+            self._sim.record(
+                "replan-failed",
+                f"session {self.session_id}: no better chain",
+            )
+            return
+        old_leases = self._leases
+        self._world.release(old_leases)
+        self._leases = []
+        new_leases = self._world.reserve_plan(
+            candidate, self._request, label=f"session-{self.session_id}"
+        )
+        if new_leases is None:
+            # Take the old chain back (guaranteed: its bandwidth was just
+            # freed and the ledger validates against nominal capacity).
+            self._leases = [
+                HopLease(
+                    source=lease.source,
+                    target=lease.target,
+                    format_name=lease.format_name,
+                    per_frame_bps=lease.per_frame_bps,
+                    route=lease.route,
+                    reservation=self._world.ledger.reserve(
+                        list(lease.route),
+                        lease.reservation.bandwidth_bps,
+                        label=lease.reservation.label,
+                    ),
+                )
+                for lease in old_leases
+            ]
+            self._failed_replans += 1
+            self._sim.record(
+                "replan-failed",
+                f"session {self.session_id}: candidate unreservable, "
+                "kept old chain",
+            )
+            return
+        switched = candidate.result.path != (
+            self._plan.result.path if self._plan is not None else ()
+        )
+        self._adopt(candidate, new_leases)
+        self._replans += 1
+        self._sim.record(
+            "replan",
+            f"session {self.session_id}: "
+            f"{'switched to' if switched else 'kept'} "
+            f"{','.join(candidate.result.path)} "
+            f"(S={candidate.result.satisfaction:.3f})",
+        )
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        if self._leases:
+            self._world.release(self._leases)
+            self._leases = []
+            self._sim.record(
+                "complete", f"session {self.session_id}: finished"
+            )
+            self._finalize(COMPLETED)
+        else:
+            self._sim.record(
+                "abort",
+                f"session {self.session_id}: ended without a chain",
+            )
+            self._finalize(ABORTED)
+
+    def truncate(self) -> None:
+        """Force-finalize a still-live session at the horizon."""
+        if self.done:
+            return
+        if self._leases:
+            self._world.release(self._leases)
+            self._leases = []
+        self._finalize(TRUNCATED)
+
+    def _finalize(self, state: str) -> None:
+        self._final_state = state
+        mean = (
+            self._weighted_satisfaction / self._observed_s
+            if self._observed_s > 0
+            else 0.0
+        )
+        self._on_done(
+            SessionOutcome(
+                session_id=self.session_id,
+                device_id=self._request.device.device_id,
+                arrival_s=self._arrival_s,
+                end_s=self._sim.now,
+                state=state,
+                admitted=self._admitted,
+                planned_satisfaction=self._initial_satisfaction,
+                mean_satisfaction=mean,
+                stall_s=self._stall_s,
+                degraded_s=self._degraded_s,
+                replans=self._replans,
+                failed_replans=self._failed_replans,
+                interruptions=self._interruptions,
+                abandoned=state == ABANDONED,
+            )
+        )
+
+    def _schedule_tick(self) -> None:
+        next_tick = min(self._end_s, self._sim.now + self._segment_s)
+        self._sim.schedule_at(next_tick, self.on_tick, kind="segment")

@@ -1,0 +1,334 @@
+"""Shared mutable world state for a simulation run.
+
+A :class:`SimWorld` owns everything the concurrent sessions contend over:
+
+- the **base scenario** (registry, parameters, catalog, topology,
+  placement) — never mutated;
+- the **fault overlay**: per-link capacity factors, downed nodes, and
+  crashed services, mutated by :mod:`repro.sim.faults` injectors as the
+  virtual clock advances;
+- the **bandwidth ledger**: every admitted session's reservations, so
+  later admissions plan against what is actually left;
+- one shared :class:`~repro.core.optimizer.OptimizeMemo`, so the
+  thousands of plans and replans a run performs reuse each other's solved
+  relaxations exactly as a :class:`~repro.planner.batch.BatchPlanner`
+  batch would.
+
+Planning goes through the existing planner stack: the world snapshots an
+*effective residual* topology (base capacity x fault factor, minus
+reservations), filters crashed services out of the catalog, and hands the
+snapshot to a :class:`BatchPlanner`.  Snapshots are cached per
+``(fault generation, ledger generation)`` pair, so a burst of arrivals
+against unchanged state shares one planner — and its plan cache — while
+any fault or reservation invalidates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.optimizer import OptimizeMemo
+from repro.core.parameters import FRAME_RATE
+from repro.errors import ReproError, ValidationError
+from repro.network.placement import ServicePlacement
+from repro.network.reservations import BandwidthLedger, Reservation
+from repro.network.topology import Link, NetworkTopology
+from repro.planner.batch import BatchPlanner, PlanRequest
+from repro.planner.cache import PlanCache
+from repro.runtime.session import SessionPlan
+from repro.services.catalog import ServiceCatalog
+from repro.workloads.scenario import Scenario
+
+__all__ = ["HopLease", "SimWorld"]
+
+#: Service ids the graph builder synthesizes for the endpoints; they are
+#: per-session, never in the shared catalog or placement.
+_ENDPOINT_IDS = ("sender", "receiver")
+
+
+def _canonical(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class HopLease:
+    """One streaming hop's transport facts plus its ledger reservation."""
+
+    source: str
+    target: str
+    format_name: str
+    #: Bandwidth one frame per second costs on this hop (bits/s at 1 fps).
+    per_frame_bps: float
+    route: Tuple[str, ...]
+    reservation: Reservation
+
+
+class SimWorld:
+    """Fault overlay + reservations + snapshot planning over one scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        optimize_memo: Optional[OptimizeMemo] = None,
+        plan_cache_size: int = 256,
+    ) -> None:
+        self.scenario = scenario
+        self.ledger = BandwidthLedger(scenario.topology)
+        self._factors: Dict[Tuple[str, str], float] = {}
+        self._down_nodes: Set[str] = set()
+        self._down_services: Set[str] = set()
+        self._memo = optimize_memo if optimize_memo is not None else OptimizeMemo()
+        self._plan_cache_size = plan_cache_size
+        self._generation = 0
+        self._planner: Optional[BatchPlanner] = None
+        self._planner_key: Optional[Tuple[int, int]] = None
+
+    @property
+    def optimize_memo(self) -> OptimizeMemo:
+        return self._memo
+
+    @property
+    def generation(self) -> int:
+        """Monotonic fault-overlay mutation counter."""
+        return self._generation
+
+    # ------------------------------------------------------------------
+    # Fault overlay mutation (called by FaultInjectors)
+    # ------------------------------------------------------------------
+    def set_link_factor(self, a: str, b: str, factor: float) -> None:
+        """Scale one link's capacity; 0 kills it, 1 restores nominal."""
+        self.scenario.topology.get_link(a, b)  # validate it exists
+        if factor < 0:
+            raise ValidationError("link factor must be >= 0")
+        key = _canonical(a, b)
+        if factor == 1.0:
+            self._factors.pop(key, None)
+        else:
+            self._factors[key] = factor
+        self._generation += 1
+
+    def link_factor(self, a: str, b: str) -> float:
+        return self._factors.get(_canonical(a, b), 1.0)
+
+    def fail_node(self, node_id: str) -> None:
+        self.scenario.topology.get_node(node_id)
+        self._down_nodes.add(node_id)
+        self._generation += 1
+
+    def restore_node(self, node_id: str) -> None:
+        self._down_nodes.discard(node_id)
+        self._generation += 1
+
+    def node_is_down(self, node_id: str) -> bool:
+        return node_id in self._down_nodes
+
+    def crash_service(self, service_id: str) -> None:
+        self.scenario.catalog.get(service_id)
+        self._down_services.add(service_id)
+        self._generation += 1
+
+    def recover_service(self, service_id: str) -> None:
+        self._down_services.discard(service_id)
+        self._generation += 1
+
+    def service_is_down(self, service_id: str) -> bool:
+        """Down explicitly, or stranded on a downed node."""
+        if service_id in self._down_services:
+            return True
+        placement = self.scenario.placement
+        return (
+            placement.is_placed(service_id)
+            and placement.node_of(service_id) in self._down_nodes
+        )
+
+    # ------------------------------------------------------------------
+    # Effective capacity queries
+    # ------------------------------------------------------------------
+    def effective_capacity(self, link: Link) -> float:
+        """Nominal capacity through the fault overlay (0 on downed ends)."""
+        if link.a in self._down_nodes or link.b in self._down_nodes:
+            return 0.0
+        return link.bandwidth_bps * self._factors.get(
+            _canonical(link.a, link.b), 1.0
+        )
+
+    def effective_residual(self, a: str, b: str) -> float:
+        """Effective capacity minus current reservations, floored at 0."""
+        link = self.scenario.topology.get_link(a, b)
+        return max(
+            0.0, self.effective_capacity(link) - self.ledger.reserved_on(a, b)
+        )
+
+    def supply_fraction(self, route: Tuple[str, ...]) -> float:
+        """How much of its reserved bandwidth a stream on ``route`` gets.
+
+        Reservations were validated against nominal capacity; when a fault
+        squeezes a link below its total reserved load, every stream on it
+        degrades proportionally (fair share).  Returns a value in [0, 1];
+        0 means the route is dead.
+        """
+        fraction = 1.0
+        for a, b in zip(route, route[1:]):
+            link = self.scenario.topology.get_link(a, b)
+            capacity = self.effective_capacity(link)
+            if capacity <= 0.0:
+                return 0.0
+            reserved = self.ledger.reserved_on(a, b)
+            if reserved > capacity:
+                fraction = min(fraction, capacity / reserved)
+        return fraction
+
+    # ------------------------------------------------------------------
+    # Snapshot planning
+    # ------------------------------------------------------------------
+    def effective_topology(self) -> NetworkTopology:
+        """A fresh topology whose capacities are the effective residuals."""
+        snapshot = NetworkTopology()
+        for node in self.scenario.topology.nodes():
+            snapshot.add_node(node)
+        for link in self.scenario.topology.links():
+            snapshot.add_link(
+                Link(
+                    a=link.a,
+                    b=link.b,
+                    bandwidth_bps=max(
+                        0.0,
+                        self.effective_capacity(link)
+                        - self.ledger.reserved_on(link.a, link.b),
+                    ),
+                    delay_ms=link.delay_ms,
+                    loss_rate=link.loss_rate,
+                    cost=link.cost,
+                )
+            )
+        return snapshot
+
+    def _snapshot_planner(self) -> BatchPlanner:
+        """The planner for the current (fault, ledger) generation pair.
+
+        Rebuilt lazily whenever either generation moves; the shared
+        optimize memo carries solved relaxations across rebuilds, and each
+        snapshot gets its *own* plan cache (fingerprints embed generation
+        counters of the snapshot objects, which restart per snapshot, so a
+        cache must never outlive its snapshot).
+        """
+        key = (self._generation, self.ledger.generation)
+        if self._planner is not None and self._planner_key == key:
+            return self._planner
+        topology = self.effective_topology()
+        alive = [
+            descriptor
+            for descriptor in self.scenario.catalog
+            if not self.service_is_down(descriptor.service_id)
+        ]
+        catalog = ServiceCatalog(alive)
+        mapping = {
+            service_id: node_id
+            for service_id, node_id in self.scenario.placement.as_dict().items()
+            if service_id in catalog
+        }
+        placement = ServicePlacement(topology, mapping)
+        self._planner = BatchPlanner(
+            registry=self.scenario.registry,
+            parameters=self.scenario.parameters,
+            catalog=catalog,
+            placement=placement,
+            cache=PlanCache(max_entries=self._plan_cache_size),
+            max_workers=1,
+            record_trace=False,
+            optimize_memo=self._memo,
+        )
+        self._planner_key = key
+        return self._planner
+
+    def plan(self, request: PlanRequest) -> Optional[SessionPlan]:
+        """Plan one session against the current effective residual state.
+
+        Returns ``None`` for *any* infeasibility — including construction
+        errors on a heavily degraded snapshot — so callers treat "cannot
+        plan" uniformly instead of unwinding exceptions mid-simulation.
+        """
+        try:
+            plan = self._snapshot_planner().plan(request)
+        except ReproError:
+            return None
+        if not plan.success:
+            return None
+        return plan
+
+    # ------------------------------------------------------------------
+    # Reservations
+    # ------------------------------------------------------------------
+    def reserve_plan(
+        self, plan: SessionPlan, request: PlanRequest, label: str = ""
+    ) -> Optional[List[HopLease]]:
+        """Reserve every hop of a successful plan; all-or-nothing.
+
+        Each hop routes along the widest path of the *current* effective
+        residual topology and must fit entirely; on any failure the hops
+        already taken are rolled back and ``None`` is returned.
+        """
+        config = plan.result.configuration
+        assert config is not None  # guaranteed by plan.success
+        per_frame = config.with_value(FRAME_RATE, 1.0)
+        leases: List[HopLease] = []
+        for source, target, fmt_name in zip(
+            plan.result.path, plan.result.path[1:], plan.result.formats
+        ):
+            source_node = self._node_for(source, request)
+            target_node = self._node_for(target, request)
+            if source_node == target_node:
+                route: Optional[List[str]] = [source_node]
+            else:
+                route = self.effective_topology().widest_path(
+                    source_node, target_node
+                )
+            fmt = self.scenario.registry.get(fmt_name)
+            requirement = config.required_bandwidth(fmt)
+            if route is None or not self._fits(route, requirement):
+                self.release(leases)
+                return None
+            try:
+                reservation = self.ledger.reserve(
+                    route, requirement, label=label or f"{source}->{target}"
+                )
+            except ValidationError:
+                self.release(leases)
+                return None
+            leases.append(
+                HopLease(
+                    source=source,
+                    target=target,
+                    format_name=fmt_name,
+                    per_frame_bps=per_frame.required_bandwidth(fmt),
+                    route=tuple(route),
+                    reservation=reservation,
+                )
+            )
+        return leases
+
+    def _fits(self, route: List[str], requirement: float) -> bool:
+        """Does the route's *effective* residual carry the requirement?
+
+        The ledger itself only validates against nominal capacity, so this
+        extra check keeps fault-squeezed links from being over-committed
+        at admission time.
+        """
+        slack = 1.0 + 1e-9
+        return all(
+            self.effective_residual(a, b) * slack >= requirement
+            for a, b in zip(route, route[1:])
+        )
+
+    def release(self, leases: List[HopLease]) -> None:
+        """Return every lease's bandwidth to the ledger."""
+        for lease in leases:
+            self.ledger.release(lease.reservation)
+
+    def _node_for(self, service_id: str, request: PlanRequest) -> str:
+        if service_id == _ENDPOINT_IDS[0]:
+            return request.sender_node
+        if service_id == _ENDPOINT_IDS[1]:
+            return request.receiver_node
+        return self.scenario.placement.node_of(service_id)

@@ -136,6 +136,72 @@ class TestExportSolveCommands:
         assert "satisfaction" in out.getvalue()
 
 
+class TestSimulateCommand:
+    ARGS = ("simulate", "--scenario", "steady", "--seed", "2", "--sessions", "8")
+
+    def test_summary_output(self):
+        code, text = run_cli(*self.ARGS)
+        assert code == 0
+        assert "scenario:          steady (seed 2)" in text
+        assert "trace digest:" in text
+
+    def test_deterministic_across_invocations(self):
+        _, first = run_cli(*self.ARGS)
+        _, second = run_cli(*self.ARGS)
+        assert first == second
+
+    def test_json_output(self):
+        import json
+
+        code, text = run_cli(*self.ARGS, "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["fleet"]["sessions"] == 8
+        assert len(payload["sessions"]) == 8
+
+    def test_fleet_only_json(self):
+        import json
+
+        code, text = run_cli(*self.ARGS, "--json", "--fleet-only")
+        assert code == 0
+        assert "sessions" not in json.loads(text)
+
+    def test_markdown_output(self):
+        code, text = run_cli(*self.ARGS, "--markdown")
+        assert code == 0
+        assert "| sessions | 8 |" in text
+
+    def test_output_file(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "report.json")
+        code, text = run_cli(*self.ARGS, "--output", path)
+        assert code == 0
+        assert path in text
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["fleet"]["sessions"] == 8
+
+    def test_faults_and_no_faults_differ(self):
+        base = ("simulate", "--scenario", "failover-storm", "--seed", "3",
+                "--sessions", "8")
+        _, with_faults = run_cli(*base)
+        _, without = run_cli(*base, "--no-faults")
+        assert with_faults != without
+
+    def test_horizon_and_trace_capacity(self):
+        code, text = run_cli(
+            *self.ARGS, "--horizon", "10", "--trace-capacity", "4"
+        )
+        assert code == 0
+        assert "virtual horizon:   10.0s" in text
+
+    def test_unknown_scenario_fails(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            run_cli("simulate", "--scenario", "nope")
+
+
 class TestLintCommand:
     def test_clean_scenario(self, tmp_path):
         import io as _io

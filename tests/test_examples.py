@@ -22,6 +22,7 @@ EXPECTED_SNIPPETS = {
     "adaptive_streaming.py": "re-planning recovered",
     "web_image_adaptation.py": "two-stage composition",
     "algorithm_comparison.py": "QoS greedy",
+    "failover_storm.py": "same seed, same digest: True",
 }
 
 

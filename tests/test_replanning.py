@@ -124,6 +124,37 @@ class TestReplanOnDrop:
         assert categories[-1] == "done"
 
 
+class TestNoFeasibleAlternative:
+    def test_total_link_death_never_raises(self, fig6):
+        """Every link dies mid-stream and nothing is feasible: the session
+        must keep running, record the failures, and finish degraded — an
+        uncaught exception here would kill a live deployment loop."""
+        drop = StepDrop(at_s=3.0, drop_to=0.0)
+        session = AdaptiveSession(
+            fig6, drop, check_interval_s=1.0, replan_threshold=0.9
+        )
+        report = session.run(duration_s=8.0)  # must not raise
+        assert report.replans == 0
+        assert report.failed_replans >= 5
+        # Still on the original chain, but observing the dead network.
+        assert report.segments[-1].path == ("sender", "T7", "receiver")
+        assert report.average_observed_satisfaction() < 0.3
+        categories = [event.category for event in report.events]
+        assert "degraded" in categories
+        assert "replan-failed" in categories
+        assert categories[-1] == "done"
+
+    def test_total_link_death_on_synthetic(self):
+        scenario = generate_scenario(SyntheticConfig(seed=4, n_services=15))
+        drop = StepDrop(at_s=2.0, drop_to=0.0)
+        session = AdaptiveSession(
+            scenario, drop, check_interval_s=1.0, replan_threshold=0.9
+        )
+        report = session.run(duration_s=6.0)  # must not raise
+        assert report.failed_replans >= 1
+        assert report.segments[-1].end_s == pytest.approx(6.0)
+
+
 class TestSnapshot:
     def test_snapshot_scales_bandwidths(self, fig6):
         drop = StepDrop(at_s=0.0, drop_to=0.25)

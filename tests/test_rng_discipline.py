@@ -1,0 +1,59 @@
+"""Static audit: no module-level randomness anywhere in the library.
+
+Determinism is a system property — one ``random.random()`` hidden in a
+helper silently couples every caller to the global Mersenne state and
+breaks the same-seed-same-trace guarantee of :mod:`repro.sim`.  This test
+walks every module's AST and rejects calls through the ``random`` module
+itself (``random.random()``, ``random.choice(...)``, ...).  Constructing
+``random.Random(seed)`` instances is the sanctioned pattern and stays
+allowed, as do calls on such instances.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The only attribute of the ``random`` module code may touch.
+_ALLOWED_ATTRS = {"Random"}
+
+
+def _module_random_calls(tree: ast.AST) -> list:
+    """(line, attr) for every call/attribute that goes through the module."""
+    offences = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if not isinstance(node.value, ast.Name) or node.value.id != "random":
+            continue
+        if node.attr not in _ALLOWED_ATTRS:
+            offences.append((node.lineno, node.attr))
+    return offences
+
+
+def test_sources_exist():
+    assert SRC.is_dir()
+    assert list(SRC.rglob("*.py"))
+
+
+def test_no_module_level_random_calls():
+    offences = {}
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        found = _module_random_calls(tree)
+        if found:
+            offences[str(path.relative_to(SRC))] = found
+    assert not offences, (
+        "module-level random usage breaks seed plumbing; "
+        f"inject a random.Random instead: {offences}"
+    )
+
+
+def test_audit_catches_an_offender():
+    """The auditor itself must flag the pattern it exists to ban."""
+    bad = ast.parse("import random\nx = random.random()\n")
+    assert _module_random_calls(bad) == [(2, "random")]
+    good = ast.parse("import random\nrng = random.Random(7)\nx = rng.random()\n")
+    assert _module_random_calls(good) == []

@@ -50,6 +50,54 @@ class TestEventLog:
         assert EventLog().last() is None
 
 
+class TestEventLogRingBuffer:
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        assert log.capacity is None
+        for i in range(100):
+            log.record(float(i), "tick", str(i))
+        assert len(log) == 100
+        assert log.dropped == 0
+
+    def test_bounded_log_drops_oldest(self):
+        log = EventLog(capacity=3)
+        assert log.capacity == 3
+        for i in range(5):
+            log.record(float(i), "tick", str(i))
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.message for e in log] == ["2", "3", "4"]
+        assert log.last().message == "4"
+
+    def test_bounded_log_under_capacity_drops_nothing(self):
+        log = EventLog(capacity=10)
+        log.record(0.0, "a", "x")
+        log.record(1.0, "a", "y")
+        assert len(log) == 2
+        assert log.dropped == 0
+
+    def test_monotone_time_enforced_across_drops(self):
+        # The floor is the last *recorded* time, not the oldest retained.
+        log = EventLog(capacity=1)
+        log.record(5.0, "a", "x")
+        log.record(6.0, "a", "y")
+        with pytest.raises(ValidationError):
+            log.record(5.5, "a", "z")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            EventLog(capacity=0)
+        with pytest.raises(ValidationError):
+            EventLog(capacity=-3)
+
+    def test_in_category_sees_only_retained(self):
+        log = EventLog(capacity=2)
+        log.record(0.0, "a", "1")
+        log.record(1.0, "b", "2")
+        log.record(2.0, "a", "3")
+        assert [e.message for e in log.in_category("a")] == ["3"]
+
+
 class TestSessionPlanning:
     def test_plan_reproduces_selector_result(self, fig6):
         plan = fig6.session(prune=False).plan()
