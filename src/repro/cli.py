@@ -9,8 +9,14 @@ A small operational surface over the library::
     python -m repro.cli catalog --seed 7       # dump a catalog as WSDL XML
     python -m repro.cli plan-batch --sessions 1000 --distinct 32 --compare
     python -m repro.cli simulate --scenario failover-storm --seed 3
+    python -m repro.cli serve --port 8077 --seed 7
+    python -m repro.cli loadgen --port 8077 --requests 500 --rate 200
 
 (Also installed as the ``repro`` console script.)
+
+Operational failures — a missing or malformed scenario file, an
+unreachable gateway — print a one-line ``error:`` message and exit
+nonzero; tracebacks are reserved for bugs.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import List, Optional
 
 from repro.core.analysis import GraphAnalysis
 from repro.discovery.wsdl import catalog_to_wsdl
+from repro.errors import ReproError
 from repro.workloads.io import load_scenario, save_scenario
 from repro.workloads.lint import Severity, lint_scenario
 from repro.workloads.paper import figure3_scenario, figure6_scenario
@@ -29,6 +36,19 @@ from repro.workloads.scenario import Scenario
 from repro.workloads.synthetic import SyntheticConfig, generate_scenario
 
 __all__ = ["main", "build_parser"]
+
+
+def _load_scenario_checked(path: str, out) -> Optional[Scenario]:
+    """Load a scenario file, reporting failures as one-line errors."""
+    try:
+        return load_scenario(path)
+    except OSError as exc:
+        reason = exc.strerror or type(exc).__name__
+        print(f"error: cannot read scenario file {path!r}: {reason}", file=out)
+        return None
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return None
 
 
 def _paper_scenario(name: str, include_t7: bool = True) -> Scenario:
@@ -117,13 +137,21 @@ def cmd_export(args: argparse.Namespace, out) -> int:
         scenario = _paper_scenario(args.paper)
     else:
         scenario = generate_scenario(SyntheticConfig(seed=args.seed))
-    path = save_scenario(scenario, args.path)
+    try:
+        path = save_scenario(scenario, args.path)
+    except OSError as exc:
+        reason = exc.strerror or type(exc).__name__
+        print(f"error: cannot write scenario file {args.path!r}: {reason}",
+              file=out)
+        return 2
     print(f"wrote {scenario.name!r} to {path}", file=out)
     return 0
 
 
 def cmd_solve(args: argparse.Namespace, out) -> int:
-    scenario = load_scenario(args.path)
+    scenario = _load_scenario_checked(args.path, out)
+    if scenario is None:
+        return 2
     print(f"scenario: {scenario.name}", file=out)
     result = scenario.select()
     if not result.success:
@@ -216,8 +244,100 @@ def cmd_simulate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _serving_scenario(args: argparse.Namespace, out) -> Optional[Scenario]:
+    """The scenario a serve/loadgen command runs against.
+
+    ``--scenario PATH`` loads a saved document; otherwise the synthetic
+    reference scenario is generated from the seed/size flags (identical
+    flags on both sides of the wire yield identical worlds).
+    """
+    if args.scenario:
+        return _load_scenario_checked(args.scenario, out)
+    return generate_scenario(
+        SyntheticConfig(
+            seed=args.seed,
+            n_services=args.services,
+            n_formats=args.formats,
+            n_nodes=args.nodes,
+        )
+    )
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import GatewayConfig, PlanningGateway
+
+    scenario = _serving_scenario(args, out)
+    if scenario is None:
+        return 2
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        default_deadline_ms=args.deadline_ms,
+        rate_per_s=args.rate_limit,
+        burst=args.burst,
+        cache_size=args.cache_size,
+        drain_grace_s=args.drain_grace,
+        service_floor_ms=args.service_floor_ms,
+    )
+    gateway = PlanningGateway(scenario, config, scenario_path=args.scenario)
+
+    def announce(gw: PlanningGateway) -> None:
+        print(
+            f"repro gateway listening on {args.host}:{gw.port} "
+            f"(scenario {scenario.name!r}, generation {gw.generation})",
+            file=out,
+            flush=True,
+        )
+
+    final = asyncio.run(gateway.run(on_ready=announce))
+    print("drained; final metrics:", file=out)
+    print(json.dumps(final, indent=2, sort_keys=True), file=out, flush=True)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace, out) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import LoadgenConfig, run_loadgen
+
+    scenario = _serving_scenario(args, out)
+    if scenario is None:
+        return 2
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        rate_per_s=args.rate,
+        seed=args.seed_arrivals,
+        distinct=args.distinct,
+        deadline_ms=args.deadline_ms,
+        timeout_s=args.timeout,
+    )
+    report = asyncio.run(run_loadgen(scenario, config))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.summary(), file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if report.failed:
+        print(f"error: {report.failed} requests failed outright", file=out)
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace, out) -> int:
-    scenario = load_scenario(args.path)
+    scenario = _load_scenario_checked(args.path, out)
+    if scenario is None:
+        return 2
     findings = lint_scenario(scenario)
     if not findings:
         print(f"{scenario.name}: clean", file=out)
@@ -350,6 +470,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to PATH",
     )
 
+    def add_world_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scenario", default=None, metavar="PATH",
+            help="serve/load a saved scenario JSON instead of a synthetic one",
+        )
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument("--services", type=int, default=12)
+        sub.add_argument("--formats", type=int, default=8)
+        sub.add_argument("--nodes", type=int, default=8)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio planning gateway (drain on SIGTERM/SIGINT, "
+        "reload on SIGHUP when serving from a file)",
+    )
+    add_world_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8077,
+                       help="0 binds an ephemeral port")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="bounded deadline-queue depth (past it: shed)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="planner workers / planning threads")
+    serve.add_argument("--deadline-ms", type=float, default=250.0,
+                       help="default per-request deadline")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="per-client token-bucket rate (0 disables)")
+    serve.add_argument("--burst", type=float, default=50.0,
+                       help="per-client token-bucket burst")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="plan-cache capacity")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       help="seconds granted to in-flight work at drain")
+    serve.add_argument("--service-floor-ms", type=float, default=0.0,
+                       help="test knob: pad each served request to this floor")
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="fire a seeded open-loop Poisson request stream at a gateway",
+    )
+    add_world_flags(loadgen)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8077)
+    loadgen.add_argument("--requests", type=int, default=500)
+    loadgen.add_argument("--rate", type=float, default=200.0,
+                         help="open-loop arrival rate (req/s)")
+    loadgen.add_argument("--seed-arrivals", type=int, default=0,
+                         help="seed for the arrival process / outcome digest")
+    loadgen.add_argument("--distinct", type=int, default=16,
+                         help="distinct device classes cycled over requests")
+    loadgen.add_argument("--deadline-ms", type=float, default=250.0)
+    loadgen.add_argument("--timeout", type=float, default=10.0,
+                         help="client-side per-response timeout (s)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full JSON report")
+    loadgen.add_argument("--output", default=None, metavar="PATH",
+                         help="also write the JSON report to PATH")
+
     catalog = commands.add_parser("catalog", help="dump a catalog as WSDL XML")
     catalog.add_argument("--seed", type=int, default=0)
     catalog.add_argument(
@@ -373,6 +551,8 @@ _HANDLERS = {
     "lint": cmd_lint,
     "plan-batch": cmd_plan_batch,
     "simulate": cmd_simulate,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

@@ -24,6 +24,8 @@ __all__ = [
     "ChainValidationError",
     "DiscoveryError",
     "PipelineError",
+    "GatewayError",
+    "GatewayProtocolError",
 ]
 
 
@@ -132,3 +134,11 @@ class DiscoveryError(ReproError):
 
 class PipelineError(ReproError):
     """The runtime delivery pipeline failed to execute a chain."""
+
+
+class GatewayError(ReproError):
+    """The serving gateway could not complete an operation."""
+
+
+class GatewayProtocolError(GatewayError):
+    """An HTTP/1.1 message on a gateway connection could not be parsed."""

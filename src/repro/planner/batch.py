@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.optimizer import OptimizeMemo
 from repro.core.parameters import ParameterSet
@@ -195,6 +195,23 @@ class BatchPlanner:
             fingerprint,
             lambda: self._plan_fresh(request, optimize_memo=self._optimize_memo),
         )
+
+    def plan_with_cache_info(self, request: PlanRequest) -> Tuple[SessionPlan, bool]:
+        """Like :meth:`plan`, also reporting whether the cache already held it.
+
+        The serving gateway surfaces the hit flag per response; the
+        membership probe and the compute run under the cache's own lock
+        discipline, so the flag can only be pessimistic (a concurrent
+        leader may insert between probe and lookup), never wrong about a
+        genuine hit.
+        """
+        fingerprint = self.fingerprint(request)
+        hit = fingerprint in self._cache
+        plan = self._cache.get_or_compute(
+            fingerprint,
+            lambda: self._plan_fresh(request, optimize_memo=self._optimize_memo),
+        )
+        return plan, hit
 
     # ------------------------------------------------------------------
     # Batch planning

@@ -48,6 +48,19 @@ __all__ = [
 ]
 
 
+def _require(data: Mapping[str, Any], key: str, what: str) -> Any:
+    """``data[key]``, raising the repo's typed error instead of ``KeyError``.
+
+    Wire documents come from untrusted JSON; a missing or mistyped field
+    must surface as a :class:`ValidationError` the gateway can map to a
+    400, never a bare ``KeyError``/``TypeError`` traceback.
+    """
+    try:
+        return data[key]
+    except (KeyError, TypeError, IndexError):
+        raise ValidationError(f"{what} is missing required key {key!r}") from None
+
+
 # ----------------------------------------------------------------------
 # Satisfaction functions
 # ----------------------------------------------------------------------
@@ -76,14 +89,21 @@ def satisfaction_from_dict(data: Mapping[str, Any]) -> SatisfactionFunction:
     """Inverse of :func:`satisfaction_to_dict`."""
     shape = data.get("shape")
     if shape == "linear":
-        return LinearSatisfaction(data["minimum"], data["ideal"])
+        return LinearSatisfaction(
+            _require(data, "minimum", "linear satisfaction"),
+            _require(data, "ideal", "linear satisfaction"),
+        )
     if shape == "piecewise":
-        return PiecewiseLinearSatisfaction([tuple(k) for k in data["knots"]])
+        knots = _require(data, "knots", "piecewise satisfaction")
+        return PiecewiseLinearSatisfaction([tuple(k) for k in knots])
     if shape == "step":
-        return StepSatisfaction([tuple(s) for s in data["steps"]])
+        steps = _require(data, "steps", "step satisfaction")
+        return StepSatisfaction([tuple(s) for s in steps])
     if shape == "logistic":
         return LogisticSatisfaction(
-            data["minimum"], data["ideal"], data.get("steepness", 8.0)
+            _require(data, "minimum", "logistic satisfaction"),
+            _require(data, "ideal", "logistic satisfaction"),
+            data.get("steepness", 8.0),
         )
     raise ValidationError(f"unknown satisfaction shape: {shape!r}")
 
@@ -105,7 +125,9 @@ def combiner_from_dict(data: Mapping[str, Any]) -> Combiner:
     if kind == "harmonic":
         return HarmonicCombiner()
     if kind == "weighted-harmonic":
-        return WeightedHarmonicCombiner(data["weights"])
+        return WeightedHarmonicCombiner(
+            _require(data, "weights", "weighted-harmonic combiner")
+        )
     if kind == "minimum":
         return MinimumCombiner()
     if kind == "geometric":
@@ -134,7 +156,7 @@ def descriptor_to_dict(descriptor: ServiceDescriptor) -> Dict[str, Any]:
 
 def descriptor_from_dict(data: Mapping[str, Any]) -> ServiceDescriptor:
     return ServiceDescriptor(
-        service_id=data["service_id"],
+        service_id=_require(data, "service_id", "service descriptor"),
         input_formats=tuple(data.get("input_formats", ())),
         output_formats=tuple(data.get("output_formats", ())),
         output_caps=dict(data.get("output_caps", {})),
@@ -172,14 +194,16 @@ def _user_to_dict(profile: UserProfile) -> Dict[str, Any]:
 
 def _user_from_dict(data: Mapping[str, Any]) -> UserProfile:
     return UserProfile(
-        user_id=data["user_id"],
+        user_id=_require(data, "user_id", "user profile"),
         display_name=data.get("display_name", ""),
         budget=data.get("budget", float("inf")),
         max_delay_ms=data.get("max_delay_ms", float("inf")),
-        combiner=combiner_from_dict(data["combiner"]),
+        combiner=combiner_from_dict(_require(data, "combiner", "user profile")),
         satisfaction_functions={
             name: satisfaction_from_dict(fn_data)
-            for name, fn_data in data["preferences"].items()
+            for name, fn_data in _require(
+                data, "preferences", "user profile"
+            ).items()
         },
         policies=[
             AdaptationPolicy(p["parameter"], p["priority"])
@@ -212,15 +236,17 @@ def _content_from_dict(
 ) -> ContentProfile:
     variants = [
         ContentVariant(
-            format=registry.get(v["format"]),
-            configuration=Configuration(v["configuration"]),
+            format=registry.get(_require(v, "format", "content variant")),
+            configuration=Configuration(
+                _require(v, "configuration", "content variant")
+            ),
             title=v.get("title", ""),
             metadata=dict(v.get("metadata", {})),
         )
-        for v in data["variants"]
+        for v in _require(data, "variants", "content profile")
     ]
     return ContentProfile(
-        content_id=data["content_id"],
+        content_id=_require(data, "content_id", "content profile"),
         variants=variants,
         title=data.get("title", ""),
         author=data.get("author", ""),
@@ -272,8 +298,8 @@ def _device_to_dict(profile: DeviceProfile) -> Dict[str, Any]:
 
 def _device_from_dict(data: Mapping[str, Any]) -> DeviceProfile:
     return DeviceProfile(
-        device_id=data["device_id"],
-        decoders=list(data["decoders"]),
+        device_id=_require(data, "device_id", "device profile"),
+        decoders=list(_require(data, "decoders", "device profile")),
         max_resolution=data.get("max_resolution"),
         max_color_depth=data.get("max_color_depth"),
         max_frame_rate=data.get("max_frame_rate"),
@@ -310,14 +336,14 @@ def _network_to_dict(profile: NetworkProfile) -> Dict[str, Any]:
 def _network_from_dict(data: Mapping[str, Any]) -> NetworkProfile:
     measurements = [
         LinkMeasurement(
-            a=m["a"],
-            b=m["b"],
-            throughput_bps=m["throughput_bps"],
+            a=_require(m, "a", "link measurement"),
+            b=_require(m, "b", "link measurement"),
+            throughput_bps=_require(m, "throughput_bps", "link measurement"),
             delay_ms=m.get("delay_ms", 1.0),
             loss_rate=m.get("loss_rate", 0.0),
             cost=m.get("cost", 0.0),
         )
-        for m in data["measurements"]
+        for m in _require(data, "measurements", "network profile")
     ]
     resources = {
         node: tuple(values)
@@ -339,8 +365,11 @@ def _intermediary_to_dict(profile: IntermediaryProfile) -> Dict[str, Any]:
 
 def _intermediary_from_dict(data: Mapping[str, Any]) -> IntermediaryProfile:
     return IntermediaryProfile(
-        node_id=data["node_id"],
-        services=[descriptor_from_dict(d) for d in data["services"]],
+        node_id=_require(data, "node_id", "intermediary profile"),
+        services=[
+            descriptor_from_dict(d)
+            for d in _require(data, "services", "intermediary profile")
+        ],
         available_cpu_mips=data.get("available_cpu_mips", 1000.0),
         available_memory_mb=data.get("available_memory_mb", 1024.0),
         operator=data.get("operator", ""),
@@ -373,6 +402,10 @@ def profile_from_dict(
     Content profiles reference media formats by name, so deserializing one
     requires the scenario's :class:`FormatRegistry`.
     """
+    if not isinstance(data, Mapping):
+        raise ValidationError(
+            f"profile document must be a JSON object, got {type(data).__name__}"
+        )
     tag = data.get("profile")
     if tag == "user":
         return _user_from_dict(data)

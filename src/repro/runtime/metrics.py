@@ -10,16 +10,63 @@ integration tests, and the E12 bench.
 A :class:`PlannerReport` is the planning-side counterpart: one batch-plan
 run's throughput plus the cache counters behind it.  Produced by the
 ``plan-batch`` CLI command and the batch-planner bench.
+
+Every metrics producer in the repo — :class:`PlannerReport`, the
+simulator's :class:`~repro.sim.report.SimReport`, and the serving
+gateway's ``/metrics`` endpoint — exports through one envelope,
+:func:`metrics_document`: a schema-version field, a section name, and the
+payload with keys sorted recursively, so downstream scrapers parse one
+stable JSON shape instead of three ad-hoc dicts.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.core.configuration import Configuration
 
-__all__ = ["DeliveryReport", "PlannerReport"]
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "metrics_document",
+    "metrics_json",
+    "DeliveryReport",
+    "PlannerReport",
+]
+
+#: Version tag stamped on every exported metrics document.  Bump only on
+#: incompatible shape changes; adding keys is backward compatible.
+METRICS_SCHEMA_VERSION = "repro.metrics/1"
+
+
+def _sorted_payload(value: Any) -> Any:
+    """Recursively sort mapping keys so serialization order is canonical."""
+    if isinstance(value, Mapping):
+        return {key: _sorted_payload(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_sorted_payload(item) for item in value]
+    return value
+
+
+def metrics_document(section: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Wrap a metrics payload in the repo-wide export envelope.
+
+    The result is JSON-ready: ``schema`` identifies the envelope version,
+    ``section`` names the producer (``"planner"``, ``"sim"``,
+    ``"gateway"``), and ``metrics`` holds the payload with keys sorted
+    recursively.
+    """
+    return {
+        "schema": METRICS_SCHEMA_VERSION,
+        "section": section,
+        "metrics": _sorted_payload(payload),
+    }
+
+
+def metrics_json(section: str, payload: Mapping[str, Any]) -> str:
+    """:func:`metrics_document` rendered as canonical (sorted-key) JSON."""
+    return json.dumps(metrics_document(section, payload), indent=2, sort_keys=True)
 
 
 @dataclass(frozen=True)
@@ -143,3 +190,27 @@ class PlannerReport:
         if self.settle_rounds:
             lines.append(f"settle rounds:     {self.settle_rounds}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This report in the repo-wide metrics envelope."""
+        return metrics_document(
+            "planner",
+            {
+                "sessions": self.sessions,
+                "successes": self.successes,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "hit_rate": self.hit_rate,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "elapsed_s": self.elapsed_s,
+                "throughput_per_s": self.throughput_per_s,
+                "optimize_calls": self.optimize_calls,
+                "optimize_memo_hits": self.optimize_memo_hits,
+                "optimize_memo_hit_rate": self.optimize_memo_hit_rate,
+                "settle_rounds": self.settle_rounds,
+            },
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,32 @@
+"""``repro.serve`` — the asyncio planning gateway and its load generator.
+
+The serving layer the paper's architecture implies but one-shot CLI runs
+never exercised: an always-on daemon that admits JSON plan requests
+under deadlines, sheds load it cannot serve in time, swaps catalogs
+without a restart, and reports one metrics document.  See
+``docs/SERVING.md`` for the operational contract.
+"""
+
+from repro.serve.admission import DeadlineQueue, RateLimiter, TokenBucket
+from repro.serve.gateway import GatewayConfig, PlanningGateway
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    LoadgenReport,
+    RequestOutcome,
+    run_loadgen,
+)
+from repro.serve.metrics import GatewayMetrics, Histogram
+
+__all__ = [
+    "DeadlineQueue",
+    "RateLimiter",
+    "TokenBucket",
+    "GatewayConfig",
+    "PlanningGateway",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "RequestOutcome",
+    "run_loadgen",
+    "GatewayMetrics",
+    "Histogram",
+]

@@ -1,0 +1,159 @@
+"""Admission machinery for the planning gateway.
+
+Two mechanisms stand between an arriving request and a planner worker:
+
+- :class:`RateLimiter` — per-client token buckets.  A client that bursts
+  past its refill rate is told to back off (429 + ``Retry-After``) before
+  its request ever touches the queue, so one greedy client cannot starve
+  the fleet.
+- :class:`DeadlineQueue` — a bounded earliest-deadline-first priority
+  queue.  ``try_put`` refuses (returns ``False``) when the queue is at
+  capacity: that is the load-shedding decision, taken in O(1) at arrival
+  rather than after the request has aged in an unbounded backlog.  Workers
+  pop the request whose deadline expires soonest, so under pressure the
+  gateway spends its planning budget where it can still make the deadline.
+
+Both are deliberately clock-injected (``now`` is always a parameter or a
+callable) so tests drive them deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+import asyncio
+
+from repro.errors import ValidationError
+
+__all__ = ["TokenBucket", "RateLimiter", "DeadlineQueue"]
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate_per_s`` refill, ``burst`` capacity."""
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0:
+            raise ValidationError("token bucket rate must be positive")
+        if burst < 1:
+            raise ValidationError("token bucket burst must be >= 1")
+        self._rate = rate_per_s
+        self._burst = float(burst)
+        self._tokens = float(burst)
+        self._updated_at: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self._updated_at is not None and now > self._updated_at:
+            self._tokens = min(
+                self._burst, self._tokens + (now - self._updated_at) * self._rate
+            )
+        self._updated_at = now
+
+    def try_acquire(self, now: float) -> bool:
+        """Take one token if available; refills lazily from elapsed time."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self, now: float) -> float:
+        """Seconds until one token will be available (0.0 if already is)."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self._rate
+
+
+class RateLimiter:
+    """Per-client token buckets with a bounded client table.
+
+    ``max_clients`` caps memory: when a new client would overflow the
+    table, the least recently seen client's bucket is dropped (it will be
+    recreated, full, on its next request — a deliberate bias towards
+    admitting rather than stalling rare clients).
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        max_clients: int = 10_000,
+    ) -> None:
+        if max_clients < 1:
+            raise ValidationError("rate limiter needs max_clients >= 1")
+        self._rate = rate_per_s
+        self._burst = burst
+        self._max_clients = max_clients
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._last_seen: Dict[str, float] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate > 0
+
+    def check(self, client: str, now: float) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one request from ``client``."""
+        if not self.enabled:
+            return True, 0.0
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self._max_clients:
+                oldest = min(self._last_seen, key=self._last_seen.get)
+                del self._buckets[oldest]
+                del self._last_seen[oldest]
+            bucket = TokenBucket(self._rate, self._burst)
+            self._buckets[client] = bucket
+        self._last_seen[client] = now
+        if bucket.try_acquire(now):
+            return True, 0.0
+        return False, bucket.retry_after_s(now)
+
+
+class DeadlineQueue:
+    """A bounded earliest-deadline-first queue for one asyncio loop.
+
+    ``try_put`` is synchronous and never blocks: a full queue is a shed
+    signal, not a place to wait.  ``get`` awaits the next item in deadline
+    order.  ``drain_pending`` empties the queue at shutdown so every
+    queued item can be answered (503) instead of silently dropped.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValidationError("DeadlineQueue needs maxsize >= 1")
+        self._maxsize = maxsize
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = 0
+        self._not_empty: asyncio.Event = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def try_put(self, deadline: float, item: Any) -> bool:
+        """Enqueue unless full; ``False`` means the caller must shed."""
+        if len(self._heap) >= self._maxsize:
+            return False
+        heapq.heappush(self._heap, (deadline, self._seq, item))
+        self._seq += 1
+        self._not_empty.set()
+        return True
+
+    async def get(self) -> Tuple[float, Any]:
+        """The (deadline, item) pair with the earliest deadline."""
+        while not self._heap:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        deadline, _, item = heapq.heappop(self._heap)
+        return deadline, item
+
+    def drain_pending(self) -> List[Any]:
+        """Remove and return every queued item (shutdown path)."""
+        items = [item for _, _, item in sorted(self._heap)]
+        self._heap.clear()
+        self._not_empty.clear()
+        return items

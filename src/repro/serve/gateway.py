@@ -1,0 +1,624 @@
+"""The asyncio planning gateway.
+
+One :class:`PlanningGateway` is the always-on intermediary the paper
+assumes (Sections 4.2–4.4): clients POST plan requests, the gateway
+admits them through a per-client rate limiter and a bounded
+earliest-deadline-first queue, planner workers run them through the
+shared :class:`~repro.planner.batch.BatchPlanner` (plan cache +
+optimize memo) on a thread pool, and every outcome — served, shed,
+expired, timed out — is metered and answered.  Nothing in the admission
+or planning path lets an exception escape unhandled: failure is a
+response, not a crash.
+
+Lifecycle: :meth:`run` starts the listener, installs SIGTERM/SIGINT
+drain handlers (and SIGHUP reload when serving from a scenario file),
+and blocks until a drain completes.  Draining stops accepting, answers
+everything in flight or queued, flushes the final metrics document, and
+returns it.
+
+Hot swap: :meth:`swap_scenario` atomically replaces the serving world
+(scenario + planner) under a bumped generation counter and clears the
+plan cache; requests already planning finish against the old world, new
+arrivals only ever see the new one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
+
+from repro.errors import (
+    GatewayError,
+    GatewayProtocolError,
+    ReproError,
+    ValidationError,
+)
+from repro.planner.batch import BatchPlanner, PlanRequest
+from repro.planner.cache import PlanCache
+from repro.serve.admission import DeadlineQueue, RateLimiter
+from repro.serve.http11 import HttpRequest, read_request, render_response
+from repro.serve.metrics import GatewayMetrics
+from repro.serve.protocol import (
+    decode_plan_request,
+    encode_payload,
+    error_payload,
+    plan_response_payload,
+)
+from repro.workloads.io import load_scenario, scenario_from_dict
+from repro.workloads.scenario import Scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+__all__ = ["GatewayConfig", "PlanningGateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Every serving knob in one place (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests); :attr:`PlanningGateway.port`
+    #: reports the bound one.
+    port: int = 8077
+    #: Bounded depth of the deadline queue; arrivals past it are shed.
+    queue_depth: int = 256
+    #: Planner workers (asyncio tasks) == planning threads in the pool.
+    workers: int = 4
+    #: Deadline applied when a request does not carry ``deadline_ms``.
+    default_deadline_ms: float = 250.0
+    #: Upper bound a request may ask for.
+    max_deadline_ms: float = 10_000.0
+    #: Per-client token bucket refill rate; 0 disables rate limiting.
+    rate_per_s: float = 0.0
+    #: Per-client burst capacity.
+    burst: float = 50.0
+    #: ``Retry-After`` seconds suggested on queue sheds.
+    shed_retry_after_s: float = 0.5
+    #: Plan-cache capacity shared across all workers.
+    cache_size: int = 4096
+    #: Grace period for in-flight work at drain.
+    drain_grace_s: float = 5.0
+    #: Cap on request bodies.
+    max_body_bytes: int = 1_048_576
+    #: Test/bench knob: pad each successfully planned request to at least
+    #: this service time, making saturation reproducible on any machine.
+    service_floor_ms: float = 0.0
+
+
+@dataclass
+class _GatewayState:
+    """The swap unit: one serving world under one generation number."""
+
+    scenario: Scenario
+    planner: BatchPlanner
+    generation: int
+
+
+@dataclass
+class _QueuedRequest:
+    """One admitted request waiting for (or holding) a planner worker."""
+
+    envelope: Any
+    deadline: float
+    enqueued_at: float
+    future: "asyncio.Future[Tuple[int, Dict[str, Any], Dict[str, str]]]"
+
+
+def _new_state(
+    scenario: Scenario, cache: PlanCache, generation: int
+) -> _GatewayState:
+    planner = BatchPlanner.for_scenario(
+        scenario, cache=cache, record_trace=False
+    )
+    return _GatewayState(
+        scenario=scenario, planner=planner, generation=generation
+    )
+
+
+class PlanningGateway:
+    """The serving daemon; see the module docstring for the architecture."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: Optional[GatewayConfig] = None,
+        scenario_path: Optional[str] = None,
+    ) -> None:
+        self._config = config if config is not None else GatewayConfig()
+        self._cache = PlanCache(max_entries=self._config.cache_size)
+        self._state = _new_state(scenario, self._cache, generation=1)
+        self._scenario_path = scenario_path
+        self._queue = DeadlineQueue(self._config.queue_depth)
+        self._limiter = RateLimiter(self._config.rate_per_s, self._config.burst)
+        self._metrics = GatewayMetrics()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.workers, thread_name_prefix="planner"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers: list = []
+        self._connections: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._draining = False
+        self._port: Optional[int] = None
+        self._started_at: Optional[float] = None
+        self._drain_requested: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> GatewayConfig:
+        return self._config
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise GatewayError("gateway not started")
+        return self._port
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def metrics(self) -> GatewayMetrics:
+        return self._metrics
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The current ``/metrics`` payload (repo-wide envelope)."""
+        loop_time = (
+            asyncio.get_event_loop().time()
+            if self._started_at is not None
+            else 0.0
+        )
+        stats = self._cache.stats
+        return self._metrics.snapshot(
+            generation=self._state.generation,
+            uptime_s=(
+                loop_time - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            queue_depth=len(self._queue),
+            inflight=self._inflight,
+            draining=self._draining,
+            cache={
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
+                "entries": stats.entries,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and launch the planner workers."""
+        if self._server is not None:
+            raise GatewayError("gateway already started")
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        self._drain_requested = asyncio.Event()
+        self._workers = [
+            loop.create_task(self._worker()) for _ in range(self._config.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self._config.host, port=self._config.port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    def request_drain(self) -> None:
+        """Ask :meth:`run` to drain; safe to call from a signal handler."""
+        if self._drain_requested is not None:
+            self._drain_requested.set()
+
+    async def run(
+        self,
+        install_signals: bool = True,
+        on_ready: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """Serve until a drain is requested; returns the final metrics.
+
+        ``on_ready`` (a callable taking this gateway) fires once the
+        listener is bound — the CLI uses it to announce the port.
+        """
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        loop = asyncio.get_running_loop()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self.request_drain)
+            if self._scenario_path is not None:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: loop.create_task(self._reload_from_path()),
+                )
+        try:
+            await self._drain_requested.wait()
+        finally:
+            if install_signals:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    loop.remove_signal_handler(signum)
+                if self._scenario_path is not None:
+                    loop.remove_signal_handler(signal.SIGHUP)
+        return await self.drain()
+
+    async def drain(self) -> Dict[str, Any]:
+        """Stop accepting, finish in-flight work, answer the rest, flush.
+
+        Queued requests that cannot be served inside ``drain_grace_s``
+        are answered 503 rather than dropped; the returned document is
+        the flushed final metrics snapshot.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        grace_ends = loop.time() + self._config.drain_grace_s
+        while (len(self._queue) or self._inflight) and loop.time() < grace_ends:
+            await asyncio.sleep(0.01)
+        for item in self._queue.drain_pending():
+            self._metrics.bump("rejected_draining")
+            self._resolve(
+                item,
+                503,
+                error_payload("draining", "gateway drained before planning"),
+            )
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        # Give connection handlers one scheduling round to flush the
+        # resolved futures, then sever whatever is still open.
+        deadline = loop.time() + 1.0
+        while self._connections and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            writer.close()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+        return self.metrics_document()
+
+    # ------------------------------------------------------------------
+    # Hot catalog / scenario swap
+    # ------------------------------------------------------------------
+    def swap_scenario(self, scenario: Scenario) -> Dict[str, Any]:
+        """Atomically install a new serving world.
+
+        The state reference flips in one assignment on the event loop, so
+        a request observes either the old world or the new one, never a
+        mix.  The generation counter bumps and the plan cache is cleared:
+        entries for the old world are unreachable anyway (fingerprints
+        embed catalog/topology content), clearing just reclaims them
+        eagerly and meters the invalidation.
+        """
+        self._state = _new_state(
+            scenario, self._cache, generation=self._state.generation + 1
+        )
+        invalidated = self._cache.clear()
+        self._metrics.bump("reloads")
+        return {
+            "status": "reloaded",
+            "scenario": scenario.name,
+            "generation": self._state.generation,
+            "invalidated": invalidated,
+        }
+
+    async def _reload_from_path(self) -> None:
+        """SIGHUP handler: re-read the scenario file the daemon came from."""
+        loop = asyncio.get_running_loop()
+        try:
+            scenario = await loop.run_in_executor(
+                None, load_scenario, self._scenario_path
+            )
+        except (OSError, ReproError):
+            self._metrics.bump("errors")
+            return
+        self.swap_scenario(scenario)
+
+    async def _scenario_from_reload_body(self, body: bytes) -> Scenario:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"reload body is not valid JSON: {exc}") from None
+        if not isinstance(data, Mapping):
+            raise ValidationError("reload body must be a JSON object")
+        loop = asyncio.get_running_loop()
+        if data.get("document") == "repro-scenario":
+            return await loop.run_in_executor(None, scenario_from_dict, data)
+        synthetic = data.get("synthetic")
+        if isinstance(synthetic, Mapping):
+            allowed = {"seed", "n_services", "n_formats", "n_nodes"}
+            unknown = set(synthetic) - allowed
+            if unknown:
+                raise ValidationError(
+                    f"unknown synthetic scenario keys: {sorted(unknown)}"
+                )
+            config = SyntheticConfig(**{k: int(v) for k, v in synthetic.items()})
+            return await loop.run_in_executor(None, generate_scenario, config)
+        raise ValidationError(
+            "reload body must be a repro-scenario document or "
+            "{'synthetic': {...}}"
+        )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._handle_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._metrics.bump("connections")
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self._config.max_body_bytes
+                    )
+                except GatewayProtocolError as exc:
+                    self._metrics.bump("protocol_errors")
+                    writer.write(
+                        render_response(
+                            400,
+                            encode_payload(error_payload("invalid", str(exc))),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload, headers = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self._draining
+                writer.write(
+                    render_response(
+                        status,
+                        encode_payload(payload),
+                        headers=headers,
+                        keep_alive=keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        route = (request.method, request.path)
+        if route == ("POST", "/plan"):
+            return await self._handle_plan(request)
+        if route == ("POST", "/admin/reload"):
+            return await self._handle_reload(request)
+        if route == ("GET", "/healthz"):
+            return 200, {"status": "alive", "generation": self.generation}, {}
+        if route == ("GET", "/readyz"):
+            if self._draining:
+                return 503, error_payload("draining"), {}
+            return 200, {"status": "ready", "generation": self.generation}, {}
+        if route == ("GET", "/metrics"):
+            return 200, self.metrics_document(), {}
+        if request.path in ("/plan", "/admin/reload", "/healthz", "/readyz",
+                            "/metrics"):
+            return 405, error_payload("invalid", "method not allowed"), {}
+        return 404, error_payload("invalid", f"no route {request.path!r}"), {}
+
+    async def _handle_reload(
+        self, request: HttpRequest
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if self._draining:
+            return 503, error_payload("draining"), {}
+        try:
+            scenario = await self._scenario_from_reload_body(request.body)
+        except ReproError as exc:
+            self._metrics.bump("invalid")
+            return 400, error_payload("invalid", str(exc)), {}
+        return 200, self.swap_scenario(scenario), {}
+
+    async def _handle_plan(
+        self, request: HttpRequest
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if self._draining:
+            self._metrics.bump("rejected_draining")
+            return 503, error_payload("draining"), {}
+        try:
+            envelope = decode_plan_request(
+                request.body,
+                self._state.scenario.registry,
+                self._config.max_deadline_ms,
+            )
+        except ReproError as exc:
+            self._metrics.bump("invalid")
+            return 400, error_payload("invalid", str(exc)), {}
+        self._metrics.bump("received")
+
+        admitted, retry_after = self._limiter.check(envelope.client, now)
+        if not admitted:
+            self._metrics.bump("shed_rate")
+            return (
+                429,
+                error_payload("rate_limited", f"client {envelope.client!r}"),
+                {"retry-after": f"{retry_after:.3f}"},
+            )
+
+        deadline_ms = (
+            envelope.deadline_ms
+            if envelope.deadline_ms is not None
+            else self._config.default_deadline_ms
+        )
+        deadline = now + deadline_ms / 1000.0
+        item = _QueuedRequest(
+            envelope=envelope,
+            deadline=deadline,
+            enqueued_at=now,
+            future=loop.create_future(),
+        )
+        if not self._queue.try_put(deadline, item):
+            self._metrics.bump("shed_queue")
+            return (
+                429,
+                error_payload("shed", "deadline queue full"),
+                {"retry-after": f"{self._config.shed_retry_after_s:.3f}"},
+            )
+        status, payload, headers = await item.future
+        self._metrics.latency_ms.observe((loop.time() - now) * 1000.0)
+        return status, payload, headers
+
+    # ------------------------------------------------------------------
+    # Planner workers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(
+        item: _QueuedRequest,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not item.future.done():
+            item.future.set_result((status, payload, headers or {}))
+
+    def _to_plan_request(
+        self, state: _GatewayState, envelope: Any
+    ) -> PlanRequest:
+        scenario = state.scenario
+        return PlanRequest(
+            content=envelope.content or scenario.content,
+            device=envelope.device or scenario.device,
+            user=envelope.user or scenario.user,
+            sender_node=envelope.sender or scenario.sender_node,
+            receiver_node=envelope.receiver or scenario.receiver_node,
+            context=(
+                envelope.context
+                if envelope.context is not None
+                else scenario.context
+            ),
+        )
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                deadline, item = await self._queue.get()
+            except asyncio.CancelledError:
+                raise
+            if item.future.done():
+                continue
+            now = loop.time()
+            queue_ms = (now - item.enqueued_at) * 1000.0
+            self._metrics.queue_wait_ms.observe(queue_ms)
+            if now >= deadline:
+                self._metrics.bump("expired")
+                self._resolve(
+                    item,
+                    504,
+                    error_payload(
+                        "timeout",
+                        "deadline expired while queued",
+                        queue_ms=round(queue_ms, 3),
+                    ),
+                )
+                continue
+            self._inflight += 1
+            try:
+                await self._plan_one(loop, item, deadline, queue_ms)
+            except asyncio.CancelledError:
+                self._resolve(
+                    item, 503, error_payload("draining", "worker cancelled")
+                )
+                raise
+            except ReproError as exc:
+                self._metrics.bump("unplannable")
+                self._resolve(item, 422, error_payload("unplannable", str(exc)))
+            except Exception as exc:  # never let a request kill the worker
+                self._metrics.bump("errors")
+                self._resolve(
+                    item,
+                    500,
+                    error_payload("error", f"{type(exc).__name__}: {exc}"),
+                )
+            finally:
+                self._inflight -= 1
+
+    async def _plan_one(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        item: _QueuedRequest,
+        deadline: float,
+        queue_ms: float,
+    ) -> None:
+        state = self._state
+        plan_request = self._to_plan_request(state, item.envelope)
+        started = loop.time()
+        try:
+            plan, cache_hit = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor,
+                    state.planner.plan_with_cache_info,
+                    plan_request,
+                ),
+                timeout=deadline - started,
+            )
+        except asyncio.TimeoutError:
+            self._metrics.bump("timeouts")
+            self._resolve(
+                item,
+                504,
+                error_payload("timeout", "planning overran the deadline"),
+            )
+            return
+        plan_ms = (loop.time() - started) * 1000.0
+        floor_s = self._config.service_floor_ms / 1000.0
+        if floor_s > 0:
+            pad = floor_s - (loop.time() - started)
+            if pad > 0:
+                await asyncio.sleep(pad)
+        self._metrics.bump("planned")
+        if plan.success:
+            self._metrics.satisfaction.observe(plan.result.satisfaction)
+        else:
+            self._metrics.bump("infeasible")
+        self._resolve(
+            item,
+            200,
+            plan_response_payload(
+                plan,
+                cache_hit=cache_hit,
+                generation=state.generation,
+                queue_ms=queue_ms,
+                plan_ms=plan_ms,
+            ),
+        )

@@ -1,0 +1,280 @@
+"""A seeded open-loop load generator for the planning gateway.
+
+Open-loop means arrival times are fixed up front — a Poisson process from
+:mod:`repro.sim.arrivals` driven by one injected ``random.Random(seed)``
+— and requests fire at those instants regardless of how fast the gateway
+answers, exactly the regime that exposes queueing collapse (a closed-loop
+client would politely slow down and hide it).
+
+Determinism: the request *sequence* (arrival offsets, device-class
+round-robin, request bodies) is a pure function of the seed, and against
+a fresh unloaded daemon the per-request outcome sequence — status,
+success, selected path, satisfaction — is too.  :meth:`LoadgenReport.
+outcome_digest` hashes that sequence (latencies excluded: wall-clock is
+not reproducible) so two runs can be compared with one string.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GatewayProtocolError, ValidationError
+from repro.planner.workload import device_variants
+from repro.profiles.serialization import profile_to_dict
+from repro.runtime.metrics import metrics_document
+from repro.serve.http11 import read_response, render_request
+from repro.serve.protocol import encode_payload
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.report import percentile
+from repro.workloads.scenario import Scenario
+
+__all__ = ["LoadgenConfig", "RequestOutcome", "LoadgenReport", "run_loadgen"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation campaign."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    requests: int = 500
+    rate_per_s: float = 200.0
+    seed: int = 0
+    #: Distinct device classes cycled round-robin over the stream.
+    distinct: int = 16
+    #: Deadline carried by every request (``None`` = server default).
+    deadline_ms: Optional[float] = 250.0
+    client: str = "loadgen"
+    #: Client-side cap on waiting for any single response.
+    timeout_s: float = 10.0
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What one request experienced, in arrival order."""
+
+    index: int
+    #: HTTP status, or 0 when the request failed client-side.
+    status: int
+    #: The server's ``status`` discriminator (``ok``, ``shed``, ...) or
+    #: ``client_error`` / ``client_timeout``.
+    outcome: str
+    success: bool
+    path: Tuple[str, ...]
+    satisfaction: float
+    latency_ms: float
+
+    def digest_key(self) -> Tuple:
+        """The deterministic slice of this outcome (no wall-clock)."""
+        return (
+            self.index,
+            self.status,
+            self.outcome,
+            self.success,
+            self.path,
+            self.satisfaction,
+        )
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """Aggregate outcome of one campaign."""
+
+    requests: int
+    rate_per_s: float
+    seed: int
+    elapsed_s: float
+    outcomes: Tuple[RequestOutcome, ...] = field(default_factory=tuple)
+
+    def by_outcome(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.outcome] = counts.get(outcome.outcome, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def completed(self) -> int:
+        """Requests the gateway answered 200 (feasible or not)."""
+        return sum(1 for o in self.outcomes if o.status == 200)
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == 429)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == 504)
+
+    @property
+    def client_failures(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == 0)
+
+    @property
+    def failed(self) -> int:
+        """Everything that is neither served nor an explicit shed/timeout."""
+        return sum(
+            1 for o in self.outcomes if o.status not in (200, 429, 504)
+        )
+
+    @property
+    def achieved_rate_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        served = [o.latency_ms for o in self.outcomes if o.status == 200]
+        return {
+            "p50": percentile(served, 50.0),
+            "p95": percentile(served, 95.0),
+            "p99": percentile(served, 99.0),
+        }
+
+    def outcome_digest(self) -> str:
+        """SHA-256 over the deterministic per-request outcome sequence."""
+        keys = tuple(
+            o.digest_key() for o in sorted(self.outcomes, key=lambda o: o.index)
+        )
+        return hashlib.sha256(repr(keys).encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict:
+        latency = self.latency_percentiles()
+        return metrics_document(
+            "loadgen",
+            {
+                "requests": self.requests,
+                "rate_per_s": self.rate_per_s,
+                "seed": self.seed,
+                "elapsed_s": round(self.elapsed_s, 6),
+                "achieved_rate_per_s": round(self.achieved_rate_per_s, 3),
+                "completed": self.completed,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "client_failures": self.client_failures,
+                "failed": self.failed,
+                "by_outcome": self.by_outcome(),
+                "latency_ms": {k: round(v, 3) for k, v in latency.items()},
+                "outcome_digest": self.outcome_digest(),
+            },
+        )
+
+    def summary(self) -> str:
+        latency = self.latency_percentiles()
+        shed_rate = self.shed / self.requests if self.requests else 0.0
+        timeout_rate = self.timeouts / self.requests if self.requests else 0.0
+        lines = [
+            f"requests:          {self.requests} at {self.rate_per_s:.0f}/s "
+            f"(seed {self.seed})",
+            f"elapsed:           {self.elapsed_s:.2f}s "
+            f"({self.achieved_rate_per_s:.0f} served/s)",
+            f"served:            {self.completed}",
+            f"latency ms:        p50 {latency['p50']:.1f}  "
+            f"p95 {latency['p95']:.1f}  p99 {latency['p99']:.1f}",
+            f"shed:              {self.shed} ({shed_rate * 100:.1f}%)",
+            f"timeouts:          {self.timeouts} ({timeout_rate * 100:.1f}%)",
+            f"failed:            {self.failed} "
+            f"({self.client_failures} client-side)",
+            f"outcome digest:    {self.outcome_digest()}",
+        ]
+        return "\n".join(lines)
+
+
+def _request_bodies(scenario: Scenario, config: LoadgenConfig) -> List[bytes]:
+    """Pre-serialized bodies, one per request, deterministic in the seed."""
+    variants = device_variants(scenario.device, config.distinct)
+    variant_bodies = []
+    for variant in variants:
+        payload: Dict = {
+            "client": config.client,
+            "device": profile_to_dict(variant),
+        }
+        if config.deadline_ms is not None:
+            payload["deadline_ms"] = config.deadline_ms
+        variant_bodies.append(encode_payload(payload))
+    return [
+        variant_bodies[i % len(variant_bodies)] for i in range(config.requests)
+    ]
+
+
+async def _fire_one(
+    config: LoadgenConfig, index: int, body: bytes
+) -> RequestOutcome:
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    try:
+        reader, writer = await asyncio.open_connection(
+            config.host, config.port
+        )
+        try:
+            writer.write(render_request("POST", "/plan", body, keep_alive=False))
+            await writer.drain()
+            response = await asyncio.wait_for(
+                read_response(reader), timeout=config.timeout_s
+            )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+    except asyncio.TimeoutError:
+        return RequestOutcome(
+            index, 0, "client_timeout", False, (), 0.0,
+            (loop.time() - started) * 1000.0,
+        )
+    except (ConnectionError, OSError, GatewayProtocolError) as exc:
+        return RequestOutcome(
+            index, 0, f"client_error:{type(exc).__name__}", False, (), 0.0,
+            (loop.time() - started) * 1000.0,
+        )
+    latency_ms = (loop.time() - started) * 1000.0
+    try:
+        payload = json.loads(response.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        payload = {}
+    outcome = payload.get("status", "unknown")
+    success = bool(payload.get("success", False))
+    path = tuple(payload.get("path", ()))
+    satisfaction = float(payload.get("satisfaction", 0.0))
+    return RequestOutcome(
+        index, response.status, outcome, success, path, satisfaction,
+        latency_ms,
+    )
+
+
+async def run_loadgen(
+    scenario: Scenario, config: LoadgenConfig
+) -> LoadgenReport:
+    """Fire one campaign and gather every outcome (never raises per-request)."""
+    if config.requests < 1:
+        raise ValidationError("loadgen needs requests >= 1")
+    bodies = _request_bodies(scenario, config)
+    rng = random.Random(config.seed)
+    offsets = PoissonArrivals(config.rate_per_s).times(config.requests, rng)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    wall_start = time.perf_counter()
+
+    async def timed_fire(index: int) -> RequestOutcome:
+        delay = start + offsets[index] - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await _fire_one(config, index, bodies[index])
+
+    outcomes = await asyncio.gather(
+        *(timed_fire(i) for i in range(config.requests))
+    )
+    elapsed = time.perf_counter() - wall_start
+    return LoadgenReport(
+        requests=config.requests,
+        rate_per_s=config.rate_per_s,
+        seed=config.seed,
+        elapsed_s=elapsed,
+        outcomes=tuple(sorted(outcomes, key=lambda o: o.index)),
+    )

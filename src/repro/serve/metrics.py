@@ -1,0 +1,144 @@
+"""Gateway observability: counters plus latency/satisfaction histograms.
+
+Everything here is mutated only from the gateway's event loop, so no
+locking is needed; a snapshot is therefore always internally consistent.
+Export goes through :func:`repro.runtime.metrics.metrics_document`, the
+same envelope the planner and simulator reports use — one schema for
+every metrics surface in the repo.
+
+Histograms are fixed-bucket (cumulative counts are derivable by the
+consumer); bounds and counts export as parallel arrays so sorted-key JSON
+cannot scramble bucket order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.runtime.metrics import metrics_document
+
+__all__ = [
+    "Histogram",
+    "GatewayMetrics",
+    "LATENCY_BUCKETS_MS",
+    "SATISFACTION_BUCKETS",
+]
+
+#: End-to-end latency bucket upper bounds, in milliseconds.
+LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0,
+                      800.0, 1600.0)
+#: Planned-satisfaction bucket upper bounds (Equation 1 lies in [0, 1]).
+SATISFACTION_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram with an implicit overflow bucket."""
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValidationError("histogram bounds must be sorted and non-empty")
+        self._bounds = tuple(float(b) for b in bounds)
+        self._counts: List[int] = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                self._counts[i] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self._count += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-quantile (0 < q <= 1).
+
+        Overflow observations report the last finite bound — a floor on
+        the true value, which is the conservative direction for "p99 under
+        deadline" style assertions by consumers that know the bounds.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValidationError("quantile must lie in (0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        for i, bound in enumerate(self._bounds):
+            cumulative += self._counts[i]
+            if cumulative >= target:
+                return bound
+        return self._bounds[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self._bounds),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": round(self._sum, 6),
+        }
+
+
+class GatewayMetrics:
+    """Every counter the gateway maintains, plus the two histograms."""
+
+    COUNTERS = (
+        "received",          # plan requests that reached dispatch
+        "planned",           # answered 200 (feasible or infeasible)
+        "infeasible",        # subset of planned with success=false
+        "shed_queue",        # 429: deadline queue full
+        "shed_rate",         # 429: per-client token bucket empty
+        "expired",           # 504: deadline passed while queued
+        "timeouts",          # 504: planning overran the deadline
+        "invalid",           # 400: body failed decoding/validation
+        "unplannable",       # 422: planner raised a typed repro error
+        "rejected_draining", # 503: arrived during drain
+        "errors",            # 500: unexpected exception (kept, never raised)
+        "protocol_errors",   # 400: HTTP framing failures
+        "reloads",           # successful hot catalog swaps
+        "connections",       # connections accepted
+    )
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {name: 0 for name in self.COUNTERS}
+        self.latency_ms = Histogram(LATENCY_BUCKETS_MS)
+        self.queue_wait_ms = Histogram(LATENCY_BUCKETS_MS)
+        self.satisfaction = Histogram(SATISFACTION_BUCKETS)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def snapshot(
+        self,
+        *,
+        generation: int,
+        uptime_s: float,
+        queue_depth: int,
+        inflight: int,
+        draining: bool,
+        cache: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """The ``/metrics`` document (repo-wide envelope, keys sorted)."""
+        payload: Dict[str, Any] = {
+            "counters": dict(self.counters),
+            "latency_ms": self.latency_ms.to_dict(),
+            "queue_wait_ms": self.queue_wait_ms.to_dict(),
+            "satisfaction": self.satisfaction.to_dict(),
+            "generation": generation,
+            "uptime_s": round(uptime_s, 3),
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "draining": draining,
+        }
+        if cache is not None:
+            payload["cache"] = dict(cache)
+        return metrics_document("gateway", payload)

@@ -1,0 +1,171 @@
+"""The gateway's JSON request/response vocabulary.
+
+A plan request is a JSON object carrying at minimum a client id; any of
+the four request-side profiles and the endpoints may be supplied inline
+(decoded via :mod:`repro.profiles.serialization`) and default to the
+serving scenario's own.  Decoding is strict: anything malformed raises
+:class:`~repro.errors.ValidationError`, which the gateway maps to a 400 —
+a planner worker must never see an undecoded document.
+
+Response payloads all carry a ``status`` discriminator (``ok``,
+``infeasible``, ``shed``, ``rate_limited``, ``timeout``, ``invalid``,
+``unplannable``, ``draining``, ``error``) so clients can switch on one
+field regardless of HTTP status code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ValidationError
+from repro.formats.registry import FormatRegistry
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.serialization import profile_from_dict
+from repro.profiles.user import UserProfile
+from repro.runtime.session import SessionPlan
+
+__all__ = [
+    "PlanRequestEnvelope",
+    "decode_plan_request",
+    "plan_response_payload",
+    "error_payload",
+    "encode_payload",
+]
+
+
+@dataclass(frozen=True)
+class PlanRequestEnvelope:
+    """One decoded plan request, before scenario defaults are applied."""
+
+    client: str
+    deadline_ms: Optional[float]
+    device: Optional[DeviceProfile]
+    user: Optional[UserProfile]
+    content: Optional[ContentProfile]
+    context: Optional[ContextProfile]
+    sender: Optional[str]
+    receiver: Optional[str]
+
+
+def _decode_profile(
+    data: Any,
+    expected_tag: str,
+    registry: FormatRegistry,
+) -> Any:
+    if not isinstance(data, Mapping):
+        raise ValidationError(
+            f"{expected_tag!r} field must be a profile object, "
+            f"got {type(data).__name__}"
+        )
+    if data.get("profile") != expected_tag:
+        raise ValidationError(
+            f"{expected_tag!r} field carries profile tag "
+            f"{data.get('profile')!r}"
+        )
+    return profile_from_dict(data, registry)
+
+
+def decode_plan_request(
+    body: bytes,
+    registry: FormatRegistry,
+    max_deadline_ms: float,
+) -> PlanRequestEnvelope:
+    """Parse and validate one ``POST /plan`` body."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(data, Mapping):
+        raise ValidationError("request body must be a JSON object")
+
+    client = data.get("client", "anonymous")
+    if not isinstance(client, str) or not client:
+        raise ValidationError("'client' must be a non-empty string")
+
+    deadline_ms = data.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ):
+            raise ValidationError("'deadline_ms' must be a number")
+        if not 0 < deadline_ms <= max_deadline_ms:
+            raise ValidationError(
+                f"'deadline_ms' must lie in (0, {max_deadline_ms:g}]"
+            )
+        deadline_ms = float(deadline_ms)
+
+    def profile_or_none(field: str) -> Any:
+        value = data.get(field)
+        if value is None:
+            return None
+        return _decode_profile(value, field, registry)
+
+    for endpoint in ("sender", "receiver"):
+        value = data.get(endpoint)
+        if value is not None and not isinstance(value, str):
+            raise ValidationError(f"{endpoint!r} must be a node id string")
+
+    return PlanRequestEnvelope(
+        client=client,
+        deadline_ms=deadline_ms,
+        device=profile_or_none("device"),
+        user=profile_or_none("user"),
+        content=profile_or_none("content"),
+        context=profile_or_none("context"),
+        sender=data.get("sender"),
+        receiver=data.get("receiver"),
+    )
+
+
+def plan_response_payload(
+    plan: SessionPlan,
+    *,
+    cache_hit: bool,
+    generation: int,
+    queue_ms: float,
+    plan_ms: float,
+) -> Dict[str, Any]:
+    """The 200 body for one completed planning request."""
+    result = plan.result
+    payload: Dict[str, Any] = {
+        "status": "ok" if plan.success else "infeasible",
+        "success": plan.success,
+        "generation": generation,
+        "cache_hit": cache_hit,
+        "queue_ms": round(queue_ms, 3),
+        "plan_ms": round(plan_ms, 3),
+    }
+    if plan.success:
+        frame_rate = result.delivered_frame_rate
+        payload.update(
+            path=list(result.path),
+            formats=list(result.formats),
+            satisfaction=round(result.satisfaction, 6),
+            cost=round(result.accumulated_cost, 6),
+            delivered_frame_rate=(
+                round(frame_rate, 6) if frame_rate is not None else None
+            ),
+        )
+    else:
+        payload["reason"] = result.failure_reason
+    return payload
+
+
+def error_payload(status: str, detail: str = "", **extra: Any) -> Dict[str, Any]:
+    """A non-200 body: ``status`` discriminator plus optional detail."""
+    payload: Dict[str, Any] = {"status": status}
+    if detail:
+        payload["detail"] = detail
+    payload.update(extra)
+    return payload
+
+
+def encode_payload(payload: Mapping[str, Any]) -> bytes:
+    """Canonical (sorted-key, compact) JSON bytes for any payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )

@@ -146,9 +146,45 @@ class SimReport:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    def fleet_metrics(self) -> Dict:
+        """The fleet-level counters as one flat metrics payload."""
+        return {
+            "sessions": self.sessions,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "abandoned": self.abandoned_count,
+            "admission_rate": self.admission_rate,
+            "abandonment_rate": self.abandonment_rate,
+            "mean_satisfaction": self.mean_satisfaction,
+            "satisfaction_percentiles": self.satisfaction_percentiles(),
+            "stall_percentiles": self.stall_percentiles(),
+            "total_stall_s": self.total_stall_s,
+            "replans": self.total_replans,
+            "failed_replans": self.total_failed_replans,
+        }
+
+    def to_metrics_dict(self) -> Dict:
+        """The fleet counters in the repo-wide metrics envelope."""
+        from repro.runtime.metrics import metrics_document
+
+        payload = dict(self.fleet_metrics())
+        payload.update(
+            scenario=self.scenario,
+            seed=self.seed,
+            horizon_s=self.horizon_s,
+            events_processed=self.events_processed,
+            trace_digest=self.trace_digest,
+        )
+        return metrics_document("sim", payload)
+
     def to_dict(self, include_sessions: bool = True) -> Dict:
         """A JSON-ready dict; key order is fixed for stable serialization."""
+        from repro.runtime.metrics import METRICS_SCHEMA_VERSION
+
         payload: Dict = {
+            "schema": METRICS_SCHEMA_VERSION,
             "scenario": self.scenario,
             "seed": self.seed,
             "horizon_s": self.horizon_s,
@@ -156,22 +192,7 @@ class SimReport:
             "trace_events": self.trace_events,
             "trace_dropped": self.trace_dropped,
             "trace_digest": self.trace_digest,
-            "fleet": {
-                "sessions": self.sessions,
-                "admitted": self.admitted,
-                "rejected": self.rejected,
-                "completed": self.completed,
-                "aborted": self.aborted,
-                "abandoned": self.abandoned_count,
-                "admission_rate": self.admission_rate,
-                "abandonment_rate": self.abandonment_rate,
-                "mean_satisfaction": self.mean_satisfaction,
-                "satisfaction_percentiles": self.satisfaction_percentiles(),
-                "stall_percentiles": self.stall_percentiles(),
-                "total_stall_s": self.total_stall_s,
-                "replans": self.total_replans,
-                "failed_replans": self.total_failed_replans,
-            },
+            "fleet": self.fleet_metrics(),
         }
         if include_sessions:
             payload["sessions"] = [asdict(o) for o in self.outcomes]

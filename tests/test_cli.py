@@ -202,6 +202,96 @@ class TestSimulateCommand:
             run_cli("simulate", "--scenario", "nope")
 
 
+class TestScenarioFileErrors:
+    """solve/export/lint report file problems as one-line errors, exit 2."""
+
+    def one_line_error(self, text: str) -> str:
+        lines = [line for line in text.splitlines() if line]
+        assert len(lines) == 1, f"expected exactly one error line, got {text!r}"
+        assert lines[0].startswith("error:")
+        assert "Traceback" not in text
+        return lines[0]
+
+    def test_solve_missing_file(self, tmp_path):
+        path = str(tmp_path / "does-not-exist.json")
+        code, text = run_cli("solve", path)
+        assert code == 2
+        line = self.one_line_error(text)
+        assert "cannot read scenario file" in line
+        assert "does-not-exist.json" in line
+
+    def test_solve_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        code, text = run_cli("solve", str(path))
+        assert code == 2
+        self.one_line_error(text)
+
+    def test_solve_valid_json_wrong_document(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"document": "something-else"}', encoding="utf-8")
+        code, text = run_cli("solve", str(path))
+        assert code == 2
+        self.one_line_error(text)
+
+    def test_lint_missing_file(self, tmp_path):
+        code, text = run_cli("lint", str(tmp_path / "gone.json"))
+        assert code == 2
+        self.one_line_error(text)
+
+    def test_lint_truncated_file(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"document": "repro-scenario"', encoding="utf-8")
+        code, text = run_cli("lint", str(path))
+        assert code == 2
+        self.one_line_error(text)
+
+    def test_export_to_unwritable_path(self, tmp_path):
+        path = str(tmp_path / "no-such-dir" / "out.json")
+        code, text = run_cli("export", path, "--paper", "figure3")
+        assert code == 2
+        line = self.one_line_error(text)
+        assert "cannot write scenario file" in line
+
+    def test_loadgen_missing_scenario_file(self, tmp_path):
+        code, text = run_cli(
+            "loadgen", "--scenario", str(tmp_path / "gone.json")
+        )
+        assert code == 2
+        self.one_line_error(text)
+
+    def test_serve_missing_scenario_file(self, tmp_path):
+        code, text = run_cli(
+            "serve", "--scenario", str(tmp_path / "gone.json")
+        )
+        assert code == 2
+        self.one_line_error(text)
+
+
+class TestServeLoadgenParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8077
+        assert args.queue_depth == 256
+        assert args.workers == 4
+        assert args.rate_limit == 0.0
+        assert args.service_floor_ms == 0.0
+        assert args.scenario is None
+
+    def test_loadgen_flags(self):
+        args = build_parser().parse_args([
+            "loadgen", "--port", "9000", "--requests", "100",
+            "--rate", "250", "--seed-arrivals", "4", "--json",
+        ])
+        assert args.command == "loadgen"
+        assert args.port == 9000
+        assert args.requests == 100
+        assert args.rate == 250.0
+        assert args.seed_arrivals == 4
+        assert args.json is True
+
+
 class TestLintCommand:
     def test_clean_scenario(self, tmp_path):
         import io as _io

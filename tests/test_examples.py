@@ -23,6 +23,7 @@ EXPECTED_SNIPPETS = {
     "web_image_adaptation.py": "two-stage composition",
     "algorithm_comparison.py": "QoS greedy",
     "failover_storm.py": "same seed, same digest: True",
+    "gateway_quickstart.py": "drained cleanly",
 }
 
 

@@ -212,3 +212,81 @@ class TestProfileRoundTrips:
     def test_non_profile_object_rejected(self):
         with pytest.raises(ValidationError):
             profile_to_dict(object())
+
+
+class TestMalformedDocuments:
+    """Partial or mistyped wire documents raise the repo's typed errors.
+
+    The serving gateway maps :class:`ValidationError` to a 400; a bare
+    ``KeyError`` escaping the decoder would crash a worker instead, so
+    these tests pin the error type for every profile tag.
+    """
+
+    REGISTRY = FormatRegistry([MediaFormat(name="F1")])
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"profile": "user"},  # missing everything
+            {"profile": "user", "user_id": "u"},  # missing combiner
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": {"kind": "harmonic"},
+            },  # missing preferences
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": {"kind": "weighted-harmonic"},  # missing weights
+                "preferences": {},
+            },
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": {"kind": "harmonic"},
+                "preferences": {"frame-rate": {"shape": "linear"}},
+            },  # satisfaction missing bounds
+            {"profile": "content"},
+            {"profile": "content", "content_id": "c"},  # missing variants
+            {
+                "profile": "content",
+                "content_id": "c",
+                "variants": [{"format": "F1"}],  # missing configuration
+            },
+            {"profile": "device"},
+            {"profile": "device", "device_id": "d"},  # missing decoders
+            {"profile": "network"},
+            {"profile": "network", "measurements": [{"a": "x", "b": "y"}]},
+            {"profile": "intermediary"},
+            {"profile": "intermediary", "node_id": "p"},  # missing services
+            {
+                "profile": "intermediary",
+                "node_id": "p",
+                "services": [{"cost": 1.0}],  # descriptor missing service_id
+            },
+        ],
+    )
+    def test_partial_document_raises_typed_error(self, document):
+        with pytest.raises(ValidationError) as excinfo:
+            profile_from_dict(document, self.REGISTRY)
+        # The typed error must not merely wrap a propagating KeyError.
+        assert not isinstance(excinfo.value, KeyError)
+
+    def test_context_tolerates_partial_documents(self):
+        # Context profiles are all-optional by design.
+        rebuilt = profile_from_dict({"profile": "context"})
+        assert rebuilt.activity == "idle"
+
+    def test_non_mapping_document_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_from_dict(["not", "a", "mapping"])
+
+    def test_malformed_satisfaction_and_combiner(self):
+        with pytest.raises(ValidationError):
+            satisfaction_from_dict({"shape": "piecewise"})
+        with pytest.raises(ValidationError):
+            combiner_from_dict({"kind": "weighted-harmonic"})
+
+    def test_malformed_descriptor(self):
+        with pytest.raises(ValidationError):
+            descriptor_from_dict({"provider": "acme"})
