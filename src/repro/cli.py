@@ -284,7 +284,14 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         drain_grace_s=args.drain_grace,
         service_floor_ms=args.service_floor_ms,
     )
-    gateway = PlanningGateway(scenario, config, scenario_path=args.scenario)
+    try:
+        gateway = PlanningGateway(scenario, config, scenario_path=args.scenario)
+    except ReproError as exc:
+        # Misconfiguration (e.g. --burst below 1 with rate limiting on)
+        # fails here, at daemon start — same one-line idiom as scenario
+        # file problems, never a traceback or a crash on the first request.
+        print(f"error: {exc}", file=out)
+        return 2
 
     def announce(gw: PlanningGateway) -> None:
         print(

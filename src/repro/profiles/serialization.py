@@ -10,7 +10,7 @@ profiles survive the round trip intact.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Sequence
 
 from repro.core.configuration import Configuration
 from repro.core.satisfaction import (
@@ -61,6 +61,28 @@ def _require(data: Mapping[str, Any], key: str, what: str) -> Any:
         raise ValidationError(f"{what} is missing required key {key!r}") from None
 
 
+def _mapping(value: Any, what: str) -> Mapping[str, Any]:
+    """``value`` as a mapping, raising :class:`ValidationError` otherwise."""
+    if not isinstance(value, Mapping):
+        raise ValidationError(
+            f"{what} must be a JSON object, got {type(value).__name__}"
+        )
+    return value
+
+
+def _sequence(value: Any, what: str) -> Sequence[Any]:
+    """``value`` as a list/tuple, raising :class:`ValidationError` otherwise.
+
+    Strings are sequences too, but a wire document supplying one where a
+    list belongs is always a mistake — reject them explicitly.
+    """
+    if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+        raise ValidationError(
+            f"{what} must be a JSON array, got {type(value).__name__}"
+        )
+    return value
+
+
 # ----------------------------------------------------------------------
 # Satisfaction functions
 # ----------------------------------------------------------------------
@@ -87,6 +109,7 @@ def satisfaction_to_dict(fn: SatisfactionFunction) -> Dict[str, Any]:
 
 def satisfaction_from_dict(data: Mapping[str, Any]) -> SatisfactionFunction:
     """Inverse of :func:`satisfaction_to_dict`."""
+    data = _mapping(data, "satisfaction function document")
     shape = data.get("shape")
     if shape == "linear":
         return LinearSatisfaction(
@@ -94,11 +117,21 @@ def satisfaction_from_dict(data: Mapping[str, Any]) -> SatisfactionFunction:
             _require(data, "ideal", "linear satisfaction"),
         )
     if shape == "piecewise":
-        knots = _require(data, "knots", "piecewise satisfaction")
-        return PiecewiseLinearSatisfaction([tuple(k) for k in knots])
+        knots = _sequence(
+            _require(data, "knots", "piecewise satisfaction"),
+            "piecewise satisfaction 'knots'",
+        )
+        return PiecewiseLinearSatisfaction(
+            [tuple(_sequence(k, "piecewise satisfaction knot")) for k in knots]
+        )
     if shape == "step":
-        steps = _require(data, "steps", "step satisfaction")
-        return StepSatisfaction([tuple(s) for s in steps])
+        steps = _sequence(
+            _require(data, "steps", "step satisfaction"),
+            "step satisfaction 'steps'",
+        )
+        return StepSatisfaction(
+            [tuple(_sequence(s, "step satisfaction step")) for s in steps]
+        )
     if shape == "logistic":
         return LogisticSatisfaction(
             _require(data, "minimum", "logistic satisfaction"),
@@ -121,12 +154,16 @@ def combiner_to_dict(combiner: Combiner) -> Dict[str, Any]:
 
 
 def combiner_from_dict(data: Mapping[str, Any]) -> Combiner:
+    data = _mapping(data, "combiner document")
     kind = data.get("kind")
     if kind == "harmonic":
         return HarmonicCombiner()
     if kind == "weighted-harmonic":
         return WeightedHarmonicCombiner(
-            _require(data, "weights", "weighted-harmonic combiner")
+            _sequence(
+                _require(data, "weights", "weighted-harmonic combiner"),
+                "weighted-harmonic combiner 'weights'",
+            )
         )
     if kind == "minimum":
         return MinimumCombiner()
@@ -155,11 +192,21 @@ def descriptor_to_dict(descriptor: ServiceDescriptor) -> Dict[str, Any]:
 
 
 def descriptor_from_dict(data: Mapping[str, Any]) -> ServiceDescriptor:
+    data = _mapping(data, "service descriptor document")
     return ServiceDescriptor(
         service_id=_require(data, "service_id", "service descriptor"),
-        input_formats=tuple(data.get("input_formats", ())),
-        output_formats=tuple(data.get("output_formats", ())),
-        output_caps=dict(data.get("output_caps", {})),
+        input_formats=tuple(
+            _sequence(data.get("input_formats", ()),
+                      "service descriptor 'input_formats'")
+        ),
+        output_formats=tuple(
+            _sequence(data.get("output_formats", ()),
+                      "service descriptor 'output_formats'")
+        ),
+        output_caps=dict(
+            _mapping(data.get("output_caps", {}),
+                     "service descriptor 'output_caps'")
+        ),
         cost=data.get("cost", 0.0),
         cpu_factor=data.get("cpu_factor", 1.0),
         memory_mb=data.get("memory_mb", 16.0),
@@ -201,13 +248,19 @@ def _user_from_dict(data: Mapping[str, Any]) -> UserProfile:
         combiner=combiner_from_dict(_require(data, "combiner", "user profile")),
         satisfaction_functions={
             name: satisfaction_from_dict(fn_data)
-            for name, fn_data in _require(
-                data, "preferences", "user profile"
+            for name, fn_data in _mapping(
+                _require(data, "preferences", "user profile"),
+                "user profile 'preferences'",
             ).items()
         },
         policies=[
-            AdaptationPolicy(p["parameter"], p["priority"])
-            for p in data.get("policies", ())
+            AdaptationPolicy(
+                _require(p, "parameter", "adaptation policy"),
+                _require(p, "priority", "adaptation policy"),
+            )
+            for p in _sequence(
+                data.get("policies", ()), "user profile 'policies'"
+            )
         ],
     )
 
@@ -238,12 +291,19 @@ def _content_from_dict(
         ContentVariant(
             format=registry.get(_require(v, "format", "content variant")),
             configuration=Configuration(
-                _require(v, "configuration", "content variant")
+                _mapping(
+                    _require(v, "configuration", "content variant"),
+                    "content variant 'configuration'",
+                )
             ),
             title=v.get("title", ""),
-            metadata=dict(v.get("metadata", {})),
+            metadata=dict(_mapping(v.get("metadata", {}),
+                                   "content variant 'metadata'")),
         )
-        for v in _require(data, "variants", "content profile")
+        for v in _sequence(
+            _require(data, "variants", "content profile"),
+            "content profile 'variants'",
+        )
     ]
     return ContentProfile(
         content_id=_require(data, "content_id", "content profile"),
@@ -299,7 +359,12 @@ def _device_to_dict(profile: DeviceProfile) -> Dict[str, Any]:
 def _device_from_dict(data: Mapping[str, Any]) -> DeviceProfile:
     return DeviceProfile(
         device_id=_require(data, "device_id", "device profile"),
-        decoders=list(_require(data, "decoders", "device profile")),
+        decoders=list(
+            _sequence(
+                _require(data, "decoders", "device profile"),
+                "device profile 'decoders'",
+            )
+        ),
         max_resolution=data.get("max_resolution"),
         max_color_depth=data.get("max_color_depth"),
         max_frame_rate=data.get("max_frame_rate"),
@@ -343,11 +408,16 @@ def _network_from_dict(data: Mapping[str, Any]) -> NetworkProfile:
             loss_rate=m.get("loss_rate", 0.0),
             cost=m.get("cost", 0.0),
         )
-        for m in _require(data, "measurements", "network profile")
+        for m in _sequence(
+            _require(data, "measurements", "network profile"),
+            "network profile 'measurements'",
+        )
     ]
     resources = {
-        node: tuple(values)
-        for node, values in data.get("node_resources", {}).items()
+        node: tuple(_sequence(values, f"node {node!r} resources"))
+        for node, values in _mapping(
+            data.get("node_resources", {}), "network profile 'node_resources'"
+        ).items()
     }
     return NetworkProfile(measurements, resources)
 
@@ -368,7 +438,10 @@ def _intermediary_from_dict(data: Mapping[str, Any]) -> IntermediaryProfile:
         node_id=_require(data, "node_id", "intermediary profile"),
         services=[
             descriptor_from_dict(d)
-            for d in _require(data, "services", "intermediary profile")
+            for d in _sequence(
+                _require(data, "services", "intermediary profile"),
+                "intermediary profile 'services'",
+            )
         ],
         available_cpu_mips=data.get("available_cpu_mips", 1000.0),
         available_memory_mb=data.get("available_memory_mb", 1024.0),

@@ -82,6 +82,15 @@ class RateLimiter:
     ) -> None:
         if max_clients < 1:
             raise ValidationError("rate limiter needs max_clients >= 1")
+        if rate_per_s < 0:
+            raise ValidationError(
+                "rate limiter rate_per_s must be >= 0 (0 disables limiting)"
+            )
+        if rate_per_s > 0:
+            # Buckets are built lazily per client; validate the parameters
+            # now so a misconfigured daemon fails at start, not on the
+            # first request.
+            TokenBucket(rate_per_s, burst)
         self._rate = rate_per_s
         self._burst = burst
         self._max_clients = max_clients

@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Set, Tuple
@@ -66,6 +67,10 @@ class GatewayConfig:
     #: Bounded depth of the deadline queue; arrivals past it are shed.
     queue_depth: int = 256
     #: Planner workers (asyncio tasks) == planning threads in the pool.
+    #: A planning call that overruns its deadline is answered 504 but its
+    #: thread cannot be cancelled and keeps running; while such abandoned
+    #: work saturates the pool, new submissions are shed (429,
+    #: ``shed_busy``) rather than queued invisibly inside the executor.
     workers: int = 4
     #: Deadline applied when a request does not carry ``deadline_ms``.
     default_deadline_ms: float = 250.0
@@ -144,8 +149,16 @@ class PlanningGateway:
         self._inflight = 0
         self._draining = False
         self._port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._started_at: Optional[float] = None
         self._drain_requested: Optional[asyncio.Event] = None
+        # Planning threads abandoned by a deadline timeout keep running
+        # (a thread cannot be cancelled); this counts every job submitted
+        # but not yet finished so _plan_one can refuse to queue behind
+        # abandoned work.  Incremented on the event loop, decremented in
+        # the planning thread — hence the lock.
+        self._executor_lock = threading.Lock()
+        self._executor_outstanding = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -173,18 +186,19 @@ class PlanningGateway:
         return self._metrics
 
     def metrics_document(self) -> Dict[str, Any]:
-        """The current ``/metrics`` payload (repo-wide envelope)."""
-        loop_time = (
-            asyncio.get_event_loop().time()
-            if self._started_at is not None
-            else 0.0
-        )
+        """The current ``/metrics`` payload (repo-wide envelope).
+
+        Uses the loop :meth:`start` ran on (``loop.time()`` is just the
+        monotonic clock, valid even after the loop closes), so inspecting
+        a gateway after ``asyncio.run`` returns neither warns nor mixes
+        clocks from different loops.
+        """
         stats = self._cache.stats
         return self._metrics.snapshot(
             generation=self._state.generation,
             uptime_s=(
-                loop_time - self._started_at
-                if self._started_at is not None
+                self._loop.time() - self._started_at
+                if self._loop is not None and self._started_at is not None
                 else 0.0
             ),
             queue_depth=len(self._queue),
@@ -207,6 +221,7 @@ class PlanningGateway:
         if self._server is not None:
             raise GatewayError("gateway already started")
         loop = asyncio.get_running_loop()
+        self._loop = loop
         self._started_at = loop.time()
         self._drain_requested = asyncio.Event()
         self._workers = [
@@ -391,8 +406,23 @@ class PlanningGateway:
                     break
                 if request is None:
                     break
-                status, payload, headers = await self._dispatch(request)
-                keep_alive = request.keep_alive and not self._draining
+                try:
+                    status, payload, headers = await self._dispatch(request)
+                except (ConnectionError, asyncio.CancelledError):
+                    raise
+                except Exception as exc:
+                    # Dispatch must never kill the connection task: anything
+                    # the typed 400/422 paths missed is metered and answered
+                    # 500 so the client always gets a response.
+                    self._metrics.bump("errors")
+                    status = 500
+                    payload = error_payload(
+                        "error", f"{type(exc).__name__}: {exc}"
+                    )
+                    headers = {}
+                keep_alive = (
+                    request.keep_alive and not self._draining and status != 500
+                )
                 writer.write(
                     render_response(
                         status,
@@ -573,6 +603,19 @@ class PlanningGateway:
             finally:
                 self._inflight -= 1
 
+    def _run_plan(self, planner: BatchPlanner, plan_request: PlanRequest):
+        """Runs in a planning thread; pairs the increment in :meth:`_plan_one`.
+
+        The decrement lives here (not on the awaiting side) because a
+        deadline timeout abandons the await while this thread keeps
+        running — the job is outstanding until the thread actually ends.
+        """
+        try:
+            return planner.plan_with_cache_info(plan_request)
+        finally:
+            with self._executor_lock:
+                self._executor_outstanding -= 1
+
     async def _plan_one(
         self,
         loop: asyncio.AbstractEventLoop,
@@ -582,12 +625,34 @@ class PlanningGateway:
     ) -> None:
         state = self._state
         plan_request = self._to_plan_request(state, item.envelope)
+        with self._executor_lock:
+            saturated = self._executor_outstanding >= self._config.workers
+            if not saturated:
+                self._executor_outstanding += 1
+        if saturated:
+            # Every planning thread is busy — which, when this worker is
+            # free to submit, means threads abandoned past their deadline
+            # (``asyncio.wait_for`` cannot cancel a running thread).
+            # Submitting would queue behind work nobody is waiting for and
+            # burn this request's deadline invisibly; shed explicitly
+            # instead so the executor queue never grows.
+            self._metrics.bump("shed_busy")
+            self._resolve(
+                item,
+                429,
+                error_payload(
+                    "shed", "planner pool saturated by overrunning work"
+                ),
+                {"retry-after": f"{self._config.shed_retry_after_s:.3f}"},
+            )
+            return
         started = loop.time()
         try:
             plan, cache_hit = await asyncio.wait_for(
                 loop.run_in_executor(
                     self._executor,
-                    state.planner.plan_with_cache_info,
+                    self._run_plan,
+                    state.planner,
                     plan_request,
                 ),
                 timeout=deadline - started,

@@ -97,6 +97,7 @@ class GatewayMetrics:
         "infeasible",        # subset of planned with success=false
         "shed_queue",        # 429: deadline queue full
         "shed_rate",         # 429: per-client token bucket empty
+        "shed_busy",         # 429: planner pool saturated by abandoned work
         "expired",           # 504: deadline passed while queued
         "timeouts",          # 504: planning overran the deadline
         "invalid",           # 400: body failed decoding/validation

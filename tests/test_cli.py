@@ -267,6 +267,16 @@ class TestScenarioFileErrors:
         assert code == 2
         self.one_line_error(text)
 
+    def test_serve_invalid_rate_limit_config(self):
+        # Misconfiguration fails at daemon start with the one-line idiom,
+        # not with a traceback (and never on the first request).
+        code, text = run_cli(
+            "serve", "--rate-limit", "10", "--burst", "0.5"
+        )
+        assert code == 2
+        line = self.one_line_error(text)
+        assert "burst" in line
+
 
 class TestServeLoadgenParsers:
     def test_serve_defaults(self):

@@ -117,6 +117,64 @@ class TestPlanEndpoint:
         assert status == 400
         assert payload["status"] == "invalid"
 
+    def test_mistyped_nested_profile_fields_are_400(self):
+        # Valid JSON whose nested profile fields carry the wrong types used
+        # to escape decode_plan_request as AttributeError/TypeError and
+        # kill the connection task without a response.
+        async def scenario(gateway):
+            bad = {
+                "user": {
+                    "profile": "user",
+                    "user_id": "u",
+                    "combiner": "minimum",
+                    "preferences": [],
+                },
+                "content": None,
+            }
+            first = await request(gateway.port, "POST", "/plan", bad)
+            bad_content = {
+                "content": {"profile": "content", "content_id": "c",
+                            "variants": 5}
+            }
+            second = await request(gateway.port, "POST", "/plan", bad_content)
+            # The gateway must still serve after both rejections.
+            after = await request(gateway.port, "POST", "/plan", {})
+            metrics = await request(gateway.port, "GET", "/metrics")
+            return first, second, after, metrics
+
+        first, second, after, metrics = run_against_gateway(scenario)
+        assert first[0] == second[0] == 400
+        assert first[1]["status"] == second[1]["status"] == "invalid"
+        assert after[0] == 200
+        counters = metrics[1]["metrics"]["counters"]
+        assert counters["invalid"] == 2
+        assert counters["errors"] == 0
+
+    def test_dispatch_crash_is_answered_500_not_dropped(self):
+        # Anything the typed error paths miss must still produce a
+        # response: the connection handler's catch-all meters it and
+        # answers 500.
+        async def scenario(gateway):
+            original = gateway._dispatch
+
+            async def exploding_dispatch(request):
+                raise RuntimeError("forced failure")
+
+            gateway._dispatch = exploding_dispatch
+            crashed = await request(gateway.port, "GET", "/healthz")
+            del gateway.__dict__["_dispatch"]
+            assert gateway._dispatch.__func__ is original.__func__
+            after = await request(gateway.port, "GET", "/healthz")
+            metrics = await request(gateway.port, "GET", "/metrics")
+            return crashed, after, metrics
+
+        crashed, after, metrics = run_against_gateway(scenario)
+        assert crashed[0] == 500
+        assert crashed[1]["status"] == "error"
+        assert "RuntimeError" in crashed[1]["detail"]
+        assert after[0] == 200
+        assert metrics[1]["metrics"]["counters"]["errors"] == 1
+
     def test_unknown_route_404_and_wrong_method_405(self):
         async def scenario(gateway):
             missing = await request(gateway.port, "GET", "/nope")
@@ -198,6 +256,30 @@ class TestAdmission:
         assert 200 in statuses  # and the gateway kept serving the rest
         shed = next(p for s, p, _ in outcomes if s == 429)
         assert shed["status"] == "shed"
+
+    def test_saturated_planner_pool_sheds_instead_of_queueing(self):
+        # A planning thread abandoned past its deadline cannot be
+        # cancelled; while such work saturates the pool, new submissions
+        # are shed (429 shed_busy) instead of queueing invisibly inside
+        # the executor, and serving resumes once the pool frees up.
+        async def scenario(gateway):
+            with gateway._executor_lock:
+                gateway._executor_outstanding = gateway.config.workers
+            shed = await request(gateway.port, "POST", "/plan",
+                                 {"deadline_ms": 2000})
+            with gateway._executor_lock:
+                gateway._executor_outstanding = 0
+            recovered = await request(gateway.port, "POST", "/plan", {})
+            metrics = await request(gateway.port, "GET", "/metrics")
+            return shed, recovered, metrics
+
+        shed, recovered, metrics = run_against_gateway(scenario, workers=1)
+        status, payload, headers = shed
+        assert status == 429
+        assert payload["status"] == "shed"
+        assert float(headers["retry-after"]) > 0
+        assert recovered[0] == 200
+        assert metrics[1]["metrics"]["counters"]["shed_busy"] == 1
 
     def test_deadline_expiry_in_queue_is_504(self):
         async def scenario(gateway):
@@ -330,6 +412,26 @@ class TestDrain:
         assert final["metrics"]["draining"] is True
         assert final["metrics"]["counters"]["planned"] == 1
         assert final["metrics"]["queue_depth"] == 0
+
+    def test_metrics_document_works_after_the_loop_exits(self):
+        # Inspecting a gateway after asyncio.run returned must not touch
+        # asyncio.get_event_loop() (warns/raises without a running loop);
+        # uptime comes from the loop start() pinned.
+        async def scenario():
+            gateway = PlanningGateway(SCENARIO, gateway_config())
+            await gateway.start()
+            await request(gateway.port, "POST", "/plan", {})
+            await gateway.drain()
+            return gateway
+
+        gateway = asyncio.run(scenario())
+        document = gateway.metrics_document()
+        assert document["schema"] == "repro.metrics/1"
+        assert document["metrics"]["uptime_s"] >= 0.0
+        assert document["metrics"]["counters"]["planned"] == 1
+        # A never-started gateway reports zero uptime rather than raising.
+        cold = PlanningGateway(SCENARIO, gateway_config())
+        assert cold.metrics_document()["metrics"]["uptime_s"] == 0.0
 
     def test_draining_gateway_rejects_new_plans_503(self):
         async def scenario():

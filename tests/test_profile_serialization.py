@@ -272,6 +272,64 @@ class TestMalformedDocuments:
         # The typed error must not merely wrap a propagating KeyError.
         assert not isinstance(excinfo.value, KeyError)
 
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": "minimum",  # combiner as a bare string
+                "preferences": {},
+            },
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": {"kind": "harmonic"},
+                "preferences": [],  # preferences as a list
+            },
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": {"kind": "harmonic"},
+                "preferences": {"frame-rate": "linear"},  # fn as a string
+            },
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": {"kind": "harmonic"},
+                "preferences": {},
+                "policies": [{}],  # partial policy entry
+            },
+            {
+                "profile": "user",
+                "user_id": "u",
+                "combiner": {"kind": "harmonic"},
+                "preferences": {},
+                "policies": "frame-rate",  # policies as a string
+            },
+            {"profile": "content", "content_id": "c", "variants": 5},
+            {"profile": "device", "device_id": "d", "decoders": 3},
+            {"profile": "network", "measurements": 1},
+            {
+                "profile": "network",
+                "measurements": [],
+                "node_resources": [["x", 1.0]],  # list, not a mapping
+            },
+            {"profile": "intermediary", "node_id": "p", "services": 5},
+            {
+                "profile": "intermediary",
+                "node_id": "p",
+                "services": [{"service_id": "T1", "input_formats": 2}],
+            },
+        ],
+    )
+    def test_mistyped_field_raises_typed_error(self, document):
+        """Valid JSON with wrongly-typed nested fields must not escape as
+        AttributeError/TypeError — the gateway maps only ValidationError
+        to a 400."""
+        with pytest.raises(ValidationError):
+            profile_from_dict(document, self.REGISTRY)
+
     def test_context_tolerates_partial_documents(self):
         # Context profiles are all-optional by design.
         rebuilt = profile_from_dict({"profile": "context"})

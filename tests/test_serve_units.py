@@ -163,6 +163,17 @@ class TestRateLimiter:
         # Client b has its own bucket and is unaffected by a's burst.
         assert limiter.check("b", 0.0) == (True, 0.0)
 
+    def test_invalid_config_fails_at_construction(self):
+        # Buckets are created lazily per client, but a misconfigured
+        # limiter must fail when the daemon starts, not on the first
+        # request.
+        with pytest.raises(ValidationError):
+            RateLimiter(rate_per_s=1.0, burst=0.5)
+        with pytest.raises(ValidationError):
+            RateLimiter(rate_per_s=-1.0, burst=10)
+        # Disabled limiting ignores burst entirely.
+        assert not RateLimiter(rate_per_s=0.0, burst=0.0).enabled
+
     def test_client_table_bounded_by_evicting_oldest(self):
         limiter = RateLimiter(rate_per_s=1.0, burst=1, max_clients=2)
         limiter.check("old", 0.0)
