@@ -10,7 +10,9 @@ A small operational surface over the library::
     python -m repro.cli plan-batch --sessions 1000 --distinct 32 --compare
     python -m repro.cli simulate --scenario failover-storm --seed 3
     python -m repro.cli serve --port 8077 --seed 7
+    python -m repro.cli serve --port 8077 --workers 4   # process cluster
     python -m repro.cli loadgen --port 8077 --requests 500 --rate 200
+    python -m repro.cli loadgen --port 8077 --shard-affinity --admin-port 8078
 
 (Also installed as the ``repro`` console script.)
 
@@ -267,8 +269,16 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     import asyncio
     import json
 
-    from repro.serve import GatewayConfig, PlanningGateway
+    from repro.serve import (
+        ClusterConfig,
+        ClusterSupervisor,
+        GatewayConfig,
+        PlanningGateway,
+    )
 
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=out)
+        return 2
     scenario = _serving_scenario(args, out)
     if scenario is None:
         return 2
@@ -276,7 +286,7 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         host=args.host,
         port=args.port,
         queue_depth=args.queue_depth,
-        workers=args.workers,
+        workers=args.threads,
         default_deadline_ms=args.deadline_ms,
         rate_per_s=args.rate_limit,
         burst=args.burst,
@@ -284,24 +294,67 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         drain_grace_s=args.drain_grace,
         service_floor_ms=args.service_floor_ms,
     )
-    try:
-        gateway = PlanningGateway(scenario, config, scenario_path=args.scenario)
-    except ReproError as exc:
-        # Misconfiguration (e.g. --burst below 1 with rate limiting on)
-        # fails here, at daemon start — same one-line idiom as scenario
-        # file problems, never a traceback or a crash on the first request.
-        print(f"error: {exc}", file=out)
-        return 2
+    if args.workers == 1:
+        # Single process: no supervisor, no fork, no admin server — the
+        # exact daemon `repro serve` has always been.
+        try:
+            gateway = PlanningGateway(
+                scenario, config, scenario_path=args.scenario
+            )
+        except ReproError as exc:
+            # Misconfiguration (e.g. --burst below 1 with rate limiting on)
+            # fails here, at daemon start — same one-line idiom as scenario
+            # file problems, never a traceback or a crash on the first
+            # request.
+            print(f"error: {exc}", file=out)
+            return 2
 
-    def announce(gw: PlanningGateway) -> None:
-        print(
-            f"repro gateway listening on {args.host}:{gw.port} "
-            f"(scenario {scenario.name!r}, generation {gw.generation})",
-            file=out,
-            flush=True,
-        )
+        def announce(gw: PlanningGateway) -> None:
+            print(
+                f"repro gateway listening on {args.host}:{gw.port} "
+                f"(scenario {scenario.name!r}, generation {gw.generation})",
+                file=out,
+                flush=True,
+            )
 
-    final = asyncio.run(gateway.run(on_ready=announce))
+        final = asyncio.run(gateway.run(on_ready=announce))
+    else:
+        admin_port = args.admin_port
+        if admin_port is None:
+            # Ephemeral shared port → ephemeral admin port; otherwise the
+            # conventional next-door port.
+            admin_port = 0 if args.port == 0 else args.port + 1
+        try:
+            supervisor = ClusterSupervisor(
+                scenario,
+                gateway_config=config,
+                cluster_config=ClusterConfig(
+                    workers=args.workers,
+                    admin_host=args.host,
+                    admin_port=admin_port,
+                ),
+                scenario_path=args.scenario,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+
+        def announce_cluster(sup: ClusterSupervisor) -> None:
+            print(
+                f"repro cluster listening on {args.host}:{sup.port} "
+                f"(admin {args.host}:{sup.admin_port}, "
+                f"workers {sup.workers}, scenario {scenario.name!r})",
+                file=out,
+                flush=True,
+            )
+
+        try:
+            final = asyncio.run(supervisor.run(on_ready=announce_cluster))
+        except ReproError as exc:
+            # Boot failure (port taken, workers never ready) after the
+            # parser accepted the flags — still one line, still exit 2.
+            print(f"error: {exc}", file=out)
+            return 2
     print("drained; final metrics:", file=out)
     print(json.dumps(final, indent=2, sort_keys=True), file=out, flush=True)
     return 0
@@ -325,8 +378,20 @@ def cmd_loadgen(args: argparse.Namespace, out) -> int:
         distinct=args.distinct,
         deadline_ms=args.deadline_ms,
         timeout_s=args.timeout,
+        shard_affinity=args.shard_affinity,
+        admin_port=args.admin_port,
     )
-    report = asyncio.run(run_loadgen(scenario, config))
+    try:
+        report = asyncio.run(run_loadgen(scenario, config))
+    except ReproError as exc:
+        # Affinity setup failures (no admin port, unreachable cluster)
+        # are operational, not bugs: one line, exit 2.
+        print(f"error: {exc}", file=out)
+        return 2
+    except OSError as exc:
+        reason = exc.strerror or type(exc).__name__
+        print(f"error: cannot reach cluster admin endpoint: {reason}", file=out)
+        return 2
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
     else:
@@ -498,8 +563,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="0 binds an ephemeral port")
     serve.add_argument("--queue-depth", type=int, default=256,
                        help="bounded deadline-queue depth (past it: shed)")
-    serve.add_argument("--workers", type=int, default=4,
-                       help="planner workers / planning threads")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes; >1 runs the SO_REUSEPORT "
+                       "cluster supervisor, 1 the classic single daemon")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="planning threads per worker process")
+    serve.add_argument("--admin-port", type=int, default=None,
+                       help="cluster admin/metrics port (default: --port + 1, "
+                       "ephemeral when --port is 0; ignored with --workers 1)")
     serve.add_argument("--deadline-ms", type=float, default=250.0,
                        help="default per-request deadline")
     serve.add_argument("--rate-limit", type=float, default=0.0,
@@ -530,6 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--deadline-ms", type=float, default=250.0)
     loadgen.add_argument("--timeout", type=float, default=10.0,
                          help="client-side per-response timeout (s)")
+    loadgen.add_argument("--shard-affinity", action="store_true",
+                         help="route each request to the cluster worker "
+                         "owning its device-class shard (needs --admin-port)")
+    loadgen.add_argument("--admin-port", type=int, default=None,
+                         help="cluster admin port to fetch the topology from")
     loadgen.add_argument("--json", action="store_true",
                          help="print the full JSON report")
     loadgen.add_argument("--output", default=None, metavar="PATH",

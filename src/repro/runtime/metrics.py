@@ -23,14 +23,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.configuration import Configuration
+from repro.errors import ValidationError
 
 __all__ = [
     "METRICS_SCHEMA_VERSION",
     "metrics_document",
     "metrics_json",
+    "Histogram",
+    "merge_histogram_dicts",
     "DeliveryReport",
     "PlannerReport",
 ]
@@ -67,6 +70,185 @@ def metrics_document(section: str, payload: Mapping[str, Any]) -> Dict[str, Any]
 def metrics_json(section: str, payload: Mapping[str, Any]) -> str:
     """:func:`metrics_document` rendered as canonical (sorted-key) JSON."""
     return json.dumps(metrics_document(section, payload), indent=2, sort_keys=True)
+
+
+class Histogram:
+    """A fixed-bucket histogram with an implicit overflow bucket.
+
+    This is the latency/satisfaction histogram behind the gateway's
+    ``/metrics`` endpoint and the cluster supervisor's merged view.  It
+    lives here (not in :mod:`repro.serve`) because merging exported
+    histograms is a metrics-envelope concern: the supervisor aggregates
+    worker documents it received as JSON, so :meth:`from_dict` /
+    :meth:`merge` must round-trip exactly through :meth:`to_dict`.
+
+    ``merge`` is associative and bucket-exact: merging histograms with
+    identical bounds sums counts per bucket (including overflow), the
+    observation count, and the running sum — merging any partition of an
+    observation stream therefore reproduces the histogram of the whole
+    stream bit-for-bit, regardless of how the stream was split or the
+    order the parts were merged in.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_count", "_sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValidationError("histogram bounds must be sorted and non-empty")
+        self._bounds = tuple(float(b) for b in bounds)
+        self._counts: List[int] = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                self._counts[i] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self._count += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-quantile (0 < q <= 1).
+
+        Overflow observations report the last finite bound — a floor on
+        the true value, which is the conservative direction for "p99 under
+        deadline" style assertions by consumers that know the bounds.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValidationError("quantile must lie in (0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        for i, bound in enumerate(self._bounds):
+            cumulative += self._counts[i]
+            if cumulative >= target:
+                return bound
+        return self._bounds[-1]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both operands' observations.
+
+        Bucket-exact: the operands must carry *identical* bounds —
+        rebucketing would silently corrupt quantiles, so a mismatch is a
+        :class:`~repro.errors.ValidationError`, never an approximation.
+        """
+        if not isinstance(other, Histogram):
+            raise ValidationError(
+                f"cannot merge Histogram with {type(other).__name__}"
+            )
+        if self._bounds != other._bounds:
+            raise ValidationError(
+                f"histogram bounds differ: {self._bounds} vs {other._bounds}"
+            )
+        merged = Histogram(self._bounds)
+        merged._counts = [
+            a + b for a, b in zip(self._counts, other._counts)
+        ]
+        merged._count = self._count + other._count
+        merged._sum = self._sum + other._sum
+        return merged
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its :meth:`to_dict` export.
+
+        This is how the cluster supervisor reconstitutes each worker's
+        histograms from the JSON it fetched over the private metrics
+        port; the parallel-array shape is validated strictly.
+        """
+        if not isinstance(data, Mapping):
+            raise ValidationError("histogram document must be a mapping")
+        bounds = data.get("bounds")
+        counts = data.get("counts")
+        if not isinstance(bounds, Sequence) or isinstance(bounds, (str, bytes)):
+            raise ValidationError("histogram 'bounds' must be a sequence")
+        if not isinstance(counts, Sequence) or isinstance(counts, (str, bytes)):
+            raise ValidationError("histogram 'counts' must be a sequence")
+        histogram = cls(bounds)
+        if len(counts) != len(histogram._counts):
+            raise ValidationError(
+                f"histogram carries {len(counts)} buckets for "
+                f"{len(bounds)} bounds (expected {len(bounds) + 1})"
+            )
+        for value in counts:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValidationError(
+                    f"histogram counts must be non-negative ints, got {value!r}"
+                )
+        histogram._counts = list(counts)
+        total = data.get("count", sum(counts))
+        if not isinstance(total, int) or total != sum(counts):
+            raise ValidationError(
+                f"histogram 'count' {total!r} disagrees with bucket sum "
+                f"{sum(counts)}"
+            )
+        histogram._count = total
+        raw_sum = data.get("sum", 0.0)
+        if not isinstance(raw_sum, (int, float)) or isinstance(raw_sum, bool):
+            raise ValidationError("histogram 'sum' must be a number")
+        histogram._sum = float(raw_sum)
+        return histogram
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self._bounds),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": round(self._sum, 6),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        # Bucket contents are exact; the running sum is float arithmetic,
+        # where addition order matters in the last bits — compare it with
+        # a relative tolerance.
+        return (
+            self._bounds == other._bounds
+            and self._counts == other._counts
+            and self._count == other._count
+            and abs(self._sum - other._sum)
+            <= 1e-9 * max(1.0, abs(self._sum), abs(other._sum))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(bounds={self._bounds}, count={self._count}, "
+            f"sum={self._sum:.3f})"
+        )
+
+
+def merge_histogram_dicts(
+    documents: Sequence[Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Merge exported histogram dicts bucket-wise (for JSON aggregators).
+
+    Accepts one or more :meth:`Histogram.to_dict` payloads with identical
+    bounds and returns the merged export.  An empty sequence is a
+    :class:`~repro.errors.ValidationError` — the caller must know the
+    bounds to report an empty histogram.
+    """
+    if not documents:
+        raise ValidationError("cannot merge zero histogram documents")
+    merged = Histogram.from_dict(documents[0])
+    for document in documents[1:]:
+        merged = merged.merge(Histogram.from_dict(document))
+    return merged.to_dict()
 
 
 @dataclass(frozen=True)

@@ -25,18 +25,17 @@ arrivals only ever see the new one.
 from __future__ import annotations
 
 import asyncio
-import json
 import signal
+import socket
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.errors import (
     GatewayError,
     GatewayProtocolError,
     ReproError,
-    ValidationError,
 )
 from repro.planner.batch import BatchPlanner, PlanRequest
 from repro.planner.cache import PlanCache
@@ -45,13 +44,18 @@ from repro.serve.http11 import HttpRequest, read_request, render_response
 from repro.serve.metrics import GatewayMetrics
 from repro.serve.protocol import (
     decode_plan_request,
+    decode_reload_scenario,
     encode_payload,
     error_payload,
     plan_response_payload,
 )
-from repro.workloads.io import load_scenario, scenario_from_dict
+from repro.serve.sharding import (
+    SHARD_HINT_HEADER,
+    WORKER_ID_HEADER,
+    ShardRouter,
+)
+from repro.workloads.io import load_scenario
 from repro.workloads.scenario import Scenario
-from repro.workloads.synthetic import SyntheticConfig, generate_scenario
 
 __all__ = ["GatewayConfig", "PlanningGateway"]
 
@@ -91,6 +95,22 @@ class GatewayConfig:
     #: Test/bench knob: pad each successfully planned request to at least
     #: this service time, making saturation reproducible on any machine.
     service_floor_ms: float = 0.0
+    #: Bind the public listener with ``SO_REUSEPORT`` so sibling worker
+    #: processes can share the port (cluster mode); requires the platform
+    #: to support the option.
+    reuse_port: bool = False
+    #: This gateway's identity inside a worker cluster.  When set, every
+    #: response carries an ``x-worker-id`` header and hinted requests are
+    #: metered as shard hits/misses.  ``None`` means standalone.
+    worker_id: Optional[int] = None
+    #: Total workers in the cluster this gateway belongs to (sizes the
+    #: shard ring used for hit/miss accounting); 1 means standalone.
+    cluster_size: int = 1
+    #: When not ``None``, also listen on this per-worker private port
+    #: (0 = ephemeral).  The cluster supervisor scrapes ``/metrics`` and
+    #: affinity-aware clients route hinted requests here, bypassing the
+    #: kernel's shared-port balancing.
+    private_port: Optional[int] = None
 
 
 @dataclass
@@ -133,6 +153,10 @@ class PlanningGateway:
         scenario_path: Optional[str] = None,
     ) -> None:
         self._config = config if config is not None else GatewayConfig()
+        if self._config.cluster_size < 1:
+            raise GatewayError(
+                f"cluster_size must be >= 1, got {self._config.cluster_size}"
+            )
         self._cache = PlanCache(max_entries=self._config.cache_size)
         self._state = _new_state(scenario, self._cache, generation=1)
         self._scenario_path = scenario_path
@@ -143,6 +167,13 @@ class PlanningGateway:
             max_workers=self._config.workers, thread_name_prefix="planner"
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._private_server: Optional[asyncio.AbstractServer] = None
+        self._private_port_bound: Optional[int] = None
+        self._router = (
+            ShardRouter.for_cluster(self._config.cluster_size)
+            if self._config.cluster_size > 1
+            else None
+        )
         self._workers: list = []
         self._connections: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
@@ -172,6 +203,15 @@ class PlanningGateway:
         if self._port is None:
             raise GatewayError("gateway not started")
         return self._port
+
+    @property
+    def private_port(self) -> Optional[int]:
+        """The bound per-worker private port (``None`` unless configured)."""
+        return self._private_port_bound
+
+    @property
+    def worker_id(self) -> Optional[int]:
+        return self._config.worker_id
 
     @property
     def generation(self) -> int:
@@ -211,13 +251,40 @@ class PlanningGateway:
                 "invalidations": stats.invalidations,
                 "entries": stats.entries,
             },
+            worker_id=self._config.worker_id,
         )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> None:
-        """Bind the listener and launch the planner workers."""
+    def _reuseport_socket(self) -> socket.socket:
+        """A bound (not yet listening) ``SO_REUSEPORT`` listener socket."""
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise GatewayError(
+                "SO_REUSEPORT is not available on this platform"
+            )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self._config.host, self._config.port))
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    async def start(self, sock: Optional[socket.socket] = None) -> None:
+        """Bind the listener(s) and launch the planner workers.
+
+        ``sock`` lets a cluster worker serve an already-bound listening
+        socket inherited from its supervisor (the no-``SO_REUSEPORT``
+        fallback).  With ``config.reuse_port`` set the gateway instead
+        binds its own socket to the shared ``(host, port)``, letting the
+        kernel spread accepts across sibling workers.  A configured
+        ``private_port`` brings up a second listener running the same
+        dispatch — the per-worker address used for metrics scraping and
+        shard-affinity routing.
+        """
         if self._server is not None:
             raise GatewayError("gateway already started")
         loop = asyncio.get_running_loop()
@@ -227,10 +294,30 @@ class PlanningGateway:
         self._workers = [
             loop.create_task(self._worker()) for _ in range(self._config.workers)
         ]
-        self._server = await asyncio.start_server(
-            self._on_connection, host=self._config.host, port=self._config.port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        elif self._config.reuse_port:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=self._reuseport_socket()
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                host=self._config.host,
+                port=self._config.port,
+            )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self._config.private_port is not None:
+            self._private_server = await asyncio.start_server(
+                self._on_connection,
+                host=self._config.host,
+                port=self._config.private_port,
+            )
+            self._private_port_bound = (
+                self._private_server.sockets[0].getsockname()[1]
+            )
 
     def request_drain(self) -> None:
         """Ask :meth:`run` to drain; safe to call from a signal handler."""
@@ -241,13 +328,16 @@ class PlanningGateway:
         self,
         install_signals: bool = True,
         on_ready: Optional[Any] = None,
+        sock: Optional[socket.socket] = None,
     ) -> Dict[str, Any]:
         """Serve until a drain is requested; returns the final metrics.
 
         ``on_ready`` (a callable taking this gateway) fires once the
         listener is bound — the CLI uses it to announce the port.
+        ``sock`` is forwarded to :meth:`start` (cluster workers serve a
+        supervisor-inherited socket).
         """
-        await self.start()
+        await self.start(sock=sock)
         if on_ready is not None:
             on_ready(self)
         loop = asyncio.get_running_loop()
@@ -277,9 +367,10 @@ class PlanningGateway:
         the flushed final metrics snapshot.
         """
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in (self._server, self._private_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
         loop = asyncio.get_running_loop()
         grace_ends = loop.time() + self._config.drain_grace_s
         while (len(self._queue) or self._inflight) and loop.time() < grace_ends:
@@ -345,34 +436,41 @@ class PlanningGateway:
             return
         self.swap_scenario(scenario)
 
-    async def _scenario_from_reload_body(self, body: bytes) -> Scenario:
-        try:
-            data = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValidationError(f"reload body is not valid JSON: {exc}") from None
-        if not isinstance(data, Mapping):
-            raise ValidationError("reload body must be a JSON object")
+    async def reload_from_body(self, body: bytes) -> Dict[str, Any]:
+        """Decode one ``/admin/reload`` body and hot-swap to it.
+
+        The decode/build runs off-loop (scenario construction can be
+        expensive); the swap itself is the same atomic flip as
+        :meth:`swap_scenario`.  Raises
+        :class:`~repro.errors.ValidationError` on malformed bodies — the
+        HTTP endpoint maps that to a 400, the cluster worker's control
+        pipe meters it as an error.
+        """
         loop = asyncio.get_running_loop()
-        if data.get("document") == "repro-scenario":
-            return await loop.run_in_executor(None, scenario_from_dict, data)
-        synthetic = data.get("synthetic")
-        if isinstance(synthetic, Mapping):
-            allowed = {"seed", "n_services", "n_formats", "n_nodes"}
-            unknown = set(synthetic) - allowed
-            if unknown:
-                raise ValidationError(
-                    f"unknown synthetic scenario keys: {sorted(unknown)}"
-                )
-            config = SyntheticConfig(**{k: int(v) for k, v in synthetic.items()})
-            return await loop.run_in_executor(None, generate_scenario, config)
-        raise ValidationError(
-            "reload body must be a repro-scenario document or "
-            "{'synthetic': {...}}"
+        scenario = await loop.run_in_executor(
+            None, decode_reload_scenario, body
         )
+        return self.swap_scenario(scenario)
 
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
+    def _identity_headers(
+        self, headers: Optional[Dict[str, str]] = None
+    ) -> Dict[str, str]:
+        """Response headers plus this worker's identity (cluster mode).
+
+        Every response a cluster worker writes carries ``x-worker-id`` so
+        clients and the load generator can attribute requests to the
+        process that actually served them; standalone gateways add
+        nothing.
+        """
+        if self._config.worker_id is None:
+            return headers or {}
+        merged = dict(headers or {})
+        merged[WORKER_ID_HEADER] = str(self._config.worker_id)
+        return merged
+
     def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -399,6 +497,7 @@ class PlanningGateway:
                         render_response(
                             400,
                             encode_payload(error_payload("invalid", str(exc))),
+                            headers=self._identity_headers(),
                             keep_alive=False,
                         )
                     )
@@ -427,7 +526,7 @@ class PlanningGateway:
                     render_response(
                         status,
                         encode_payload(payload),
-                        headers=headers,
+                        headers=self._identity_headers(headers),
                         keep_alive=keep_alive,
                     )
                 )
@@ -471,11 +570,11 @@ class PlanningGateway:
         if self._draining:
             return 503, error_payload("draining"), {}
         try:
-            scenario = await self._scenario_from_reload_body(request.body)
+            summary = await self.reload_from_body(request.body)
         except ReproError as exc:
             self._metrics.bump("invalid")
             return 400, error_payload("invalid", str(exc)), {}
-        return 200, self.swap_scenario(scenario), {}
+        return 200, summary, {}
 
     async def _handle_plan(
         self, request: HttpRequest
@@ -495,6 +594,12 @@ class PlanningGateway:
             self._metrics.bump("invalid")
             return 400, error_payload("invalid", str(exc)), {}
         self._metrics.bump("received")
+        hint = request.headers.get(SHARD_HINT_HEADER)
+        if hint and self._router is not None and self._config.worker_id is not None:
+            if self._router.route(hint) == self._config.worker_id:
+                self._metrics.bump("shard_hits")
+            else:
+                self._metrics.bump("shard_misses")
 
         admitted, retry_after = self._limiter.check(envelope.client, now)
         if not admitted:

@@ -30,6 +30,12 @@ from repro.profiles.serialization import profile_to_dict
 from repro.runtime.metrics import metrics_document
 from repro.serve.http11 import read_response, render_request
 from repro.serve.protocol import encode_payload
+from repro.serve.sharding import (
+    SHARD_HINT_HEADER,
+    WORKER_ID_HEADER,
+    ShardRouter,
+    device_shard_hint,
+)
 from repro.sim.arrivals import PoissonArrivals
 from repro.sim.report import percentile
 from repro.workloads.scenario import Scenario
@@ -53,6 +59,13 @@ class LoadgenConfig:
     client: str = "loadgen"
     #: Client-side cap on waiting for any single response.
     timeout_s: float = 10.0
+    #: Route each request to the worker owning its device-class shard
+    #: (cluster mode): fetch the topology from the supervisor's admin
+    #: port and send hinted requests to per-worker private ports instead
+    #: of the kernel-balanced shared port.
+    shard_affinity: bool = False
+    #: The cluster supervisor's admin port (required for affinity).
+    admin_port: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -69,9 +82,17 @@ class RequestOutcome:
     path: Tuple[str, ...]
     satisfaction: float
     latency_ms: float
+    #: The ``x-worker-id`` the answering process stamped on the response
+    #: ("" standalone or on client-side failures).
+    worker: str = ""
 
     def digest_key(self) -> Tuple:
-        """The deterministic slice of this outcome (no wall-clock)."""
+        """The deterministic slice of this outcome (no wall-clock).
+
+        The worker id is deliberately excluded: without affinity the
+        kernel's connection balancing decides which worker answers, so
+        including it would make same-seed digests diverge run to run.
+        """
         return (
             self.index,
             self.status,
@@ -136,6 +157,21 @@ class LoadgenReport:
             "p99": percentile(served, 99.0),
         }
 
+    def worker_distribution(self) -> Dict[str, int]:
+        """How many answered requests each worker served (cluster honesty).
+
+        Built from the ``x-worker-id`` response header, i.e. from which
+        process *actually* answered — not from where the client intended
+        to send the request — so an affinity run that silently fell back
+        to the shared port would show up here as a spread, not a no-op.
+        Empty when no response carried a worker id (standalone gateway).
+        """
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.worker:
+                counts[outcome.worker] = counts.get(outcome.worker, 0) + 1
+        return dict(sorted(counts.items()))
+
     def outcome_digest(self) -> str:
         """SHA-256 over the deterministic per-request outcome sequence."""
         keys = tuple(
@@ -161,6 +197,7 @@ class LoadgenReport:
                 "by_outcome": self.by_outcome(),
                 "latency_ms": {k: round(v, 3) for k, v in latency.items()},
                 "outcome_digest": self.outcome_digest(),
+                "worker_distribution": self.worker_distribution(),
             },
         )
 
@@ -182,11 +219,24 @@ class LoadgenReport:
             f"({self.client_failures} client-side)",
             f"outcome digest:    {self.outcome_digest()}",
         ]
+        distribution = self.worker_distribution()
+        if distribution:
+            spread = "  ".join(
+                f"{worker}:{count}" for worker, count in distribution.items()
+            )
+            lines.append(f"per worker:        {spread}")
         return "\n".join(lines)
 
 
-def _request_bodies(scenario: Scenario, config: LoadgenConfig) -> List[bytes]:
-    """Pre-serialized bodies, one per request, deterministic in the seed."""
+def _request_bodies(
+    scenario: Scenario, config: LoadgenConfig
+) -> List[Tuple[bytes, str]]:
+    """Pre-serialized (body, shard hint) pairs, deterministic in the seed.
+
+    The hint rides along even without ``--shard-affinity``: it costs one
+    header and lets cluster workers meter how traffic would have sharded
+    (``shard_hits`` / ``shard_misses``).
+    """
     variants = device_variants(scenario.device, config.distinct)
     variant_bodies = []
     for variant in variants:
@@ -196,23 +246,85 @@ def _request_bodies(scenario: Scenario, config: LoadgenConfig) -> List[bytes]:
         }
         if config.deadline_ms is not None:
             payload["deadline_ms"] = config.deadline_ms
-        variant_bodies.append(encode_payload(payload))
+        variant_bodies.append(
+            (encode_payload(payload), device_shard_hint(variant))
+        )
     return [
         variant_bodies[i % len(variant_bodies)] for i in range(config.requests)
     ]
 
 
+async def _fetch_cluster_document(host: str, admin_port: int) -> Dict:
+    reader, writer = await asyncio.open_connection(host, admin_port)
+    try:
+        writer.write(render_request("GET", "/cluster", keep_alive=False))
+        await writer.drain()
+        response = await read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    if response.status != 200:
+        raise ValidationError(
+            f"/cluster answered {response.status} on admin port {admin_port}"
+        )
+    try:
+        document = json.loads(response.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"/cluster body is not JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise ValidationError("/cluster body must be a JSON object")
+    return document
+
+
+async def _resolve_affinity(
+    config: LoadgenConfig,
+) -> Tuple[ShardRouter, Dict[int, int]]:
+    """The (ring, worker id → private port) map behind ``--shard-affinity``."""
+    if config.admin_port is None:
+        raise ValidationError(
+            "shard affinity needs the cluster admin port (--admin-port)"
+        )
+    document = await _fetch_cluster_document(config.host, config.admin_port)
+    router = ShardRouter.from_dict(document.get("ring", {}))
+    ports: Dict[int, int] = {}
+    for entry in document.get("workers", ()):
+        if not isinstance(entry, dict):
+            continue
+        worker_id = entry.get("worker_id")
+        private_port = entry.get("private_port")
+        if isinstance(worker_id, int) and isinstance(private_port, int):
+            ports[worker_id] = private_port
+    if not ports:
+        raise ValidationError(
+            "cluster reports no worker private ports; is it still starting?"
+        )
+    return router, ports
+
+
 async def _fire_one(
-    config: LoadgenConfig, index: int, body: bytes
+    config: LoadgenConfig,
+    index: int,
+    body: bytes,
+    hint: str,
+    port: int,
 ) -> RequestOutcome:
     loop = asyncio.get_running_loop()
     started = loop.time()
     try:
-        reader, writer = await asyncio.open_connection(
-            config.host, config.port
-        )
+        reader, writer = await asyncio.open_connection(config.host, port)
         try:
-            writer.write(render_request("POST", "/plan", body, keep_alive=False))
+            writer.write(
+                render_request(
+                    "POST",
+                    "/plan",
+                    body,
+                    headers={SHARD_HINT_HEADER: hint},
+                    keep_alive=False,
+                )
+            )
             await writer.drain()
             response = await asyncio.wait_for(
                 read_response(reader), timeout=config.timeout_s
@@ -244,7 +356,7 @@ async def _fire_one(
     satisfaction = float(payload.get("satisfaction", 0.0))
     return RequestOutcome(
         index, response.status, outcome, success, path, satisfaction,
-        latency_ms,
+        latency_ms, worker=response.headers.get(WORKER_ID_HEADER, ""),
     )
 
 
@@ -255,17 +367,29 @@ async def run_loadgen(
     if config.requests < 1:
         raise ValidationError("loadgen needs requests >= 1")
     bodies = _request_bodies(scenario, config)
+    router: Optional[ShardRouter] = None
+    worker_ports: Dict[int, int] = {}
+    if config.shard_affinity:
+        router, worker_ports = await _resolve_affinity(config)
     rng = random.Random(config.seed)
     offsets = PoissonArrivals(config.rate_per_s).times(config.requests, rng)
     loop = asyncio.get_running_loop()
     start = loop.time()
     wall_start = time.perf_counter()
 
+    def target_port(hint: str) -> int:
+        if router is None:
+            return config.port
+        # A worker missing its private port (mid-restart) falls back to
+        # the shared port: affinity is advisory, delivery is not.
+        return worker_ports.get(router.route(hint), config.port)
+
     async def timed_fire(index: int) -> RequestOutcome:
         delay = start + offsets[index] - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        return await _fire_one(config, index, bodies[index])
+        body, hint = bodies[index]
+        return await _fire_one(config, index, body, hint, target_port(hint))
 
     outcomes = await asyncio.gather(
         *(timed_fire(i) for i in range(config.requests))

@@ -6,6 +6,10 @@ Export goes through :func:`repro.runtime.metrics.metrics_document`, the
 same envelope the planner and simulator reports use — one schema for
 every metrics surface in the repo.
 
+The histogram implementation itself lives in
+:mod:`repro.runtime.metrics` (re-exported here for compatibility): the
+cluster supervisor merges worker histograms bucket-wise from their JSON
+exports, so construction, export, and merge must share one definition.
 Histograms are fixed-bucket (cumulative counts are derivable by the
 consumer); bounds and counts export as parallel arrays so sorted-key JSON
 cannot scramble bucket order.
@@ -13,10 +17,9 @@ cannot scramble bucket order.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional
 
-from repro.errors import ValidationError
-from repro.runtime.metrics import metrics_document
+from repro.runtime.metrics import Histogram, metrics_document
 
 __all__ = [
     "Histogram",
@@ -30,62 +33,6 @@ LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0,
                       800.0, 1600.0)
 #: Planned-satisfaction bucket upper bounds (Equation 1 lies in [0, 1]).
 SATISFACTION_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
-
-
-class Histogram:
-    """A fixed-bucket histogram with an implicit overflow bucket."""
-
-    def __init__(self, bounds: Sequence[float]) -> None:
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValidationError("histogram bounds must be sorted and non-empty")
-        self._bounds = tuple(float(b) for b in bounds)
-        self._counts: List[int] = [0] * (len(self._bounds) + 1)
-        self._count = 0
-        self._sum = 0.0
-
-    def observe(self, value: float) -> None:
-        for i, bound in enumerate(self._bounds):
-            if value <= bound:
-                self._counts[i] += 1
-                break
-        else:
-            self._counts[-1] += 1
-        self._count += 1
-        self._sum += value
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket containing the q-quantile (0 < q <= 1).
-
-        Overflow observations report the last finite bound — a floor on
-        the true value, which is the conservative direction for "p99 under
-        deadline" style assertions by consumers that know the bounds.
-        """
-        if not 0.0 < q <= 1.0:
-            raise ValidationError("quantile must lie in (0, 1]")
-        if self._count == 0:
-            return 0.0
-        target = q * self._count
-        cumulative = 0
-        for i, bound in enumerate(self._bounds):
-            cumulative += self._counts[i]
-            if cumulative >= target:
-                return bound
-        return self._bounds[-1]
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "bounds": list(self._bounds),
-            "counts": list(self._counts),
-            "count": self._count,
-            "sum": round(self._sum, 6),
-        }
 
 
 class GatewayMetrics:
@@ -107,6 +54,8 @@ class GatewayMetrics:
         "protocol_errors",   # 400: HTTP framing failures
         "reloads",           # successful hot catalog swaps
         "connections",       # connections accepted
+        "shard_hits",        # hinted requests that landed on their shard owner
+        "shard_misses",      # hinted requests that landed elsewhere (cold cache)
     )
 
     def __init__(self) -> None:
@@ -127,6 +76,7 @@ class GatewayMetrics:
         inflight: int,
         draining: bool,
         cache: Optional[Mapping[str, Any]] = None,
+        worker_id: Optional[int] = None,
     ) -> Dict[str, Any]:
         """The ``/metrics`` document (repo-wide envelope, keys sorted)."""
         payload: Dict[str, Any] = {
@@ -142,4 +92,6 @@ class GatewayMetrics:
         }
         if cache is not None:
             payload["cache"] = dict(cache)
+        if worker_id is not None:
+            payload["worker_id"] = worker_id
         return metrics_document("gateway", payload)

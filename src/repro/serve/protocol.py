@@ -31,6 +31,7 @@ from repro.runtime.session import SessionPlan
 __all__ = [
     "PlanRequestEnvelope",
     "decode_plan_request",
+    "decode_reload_scenario",
     "plan_response_payload",
     "error_payload",
     "encode_payload",
@@ -118,6 +119,54 @@ def decode_plan_request(
         context=profile_or_none("context"),
         sender=data.get("sender"),
         receiver=data.get("receiver"),
+    )
+
+
+def decode_reload_scenario(body: bytes):
+    """Parse and build the scenario named by one ``/admin/reload`` body.
+
+    Accepts either a full ``repro-scenario`` document or a
+    ``{"synthetic": {...}}`` generation spec; anything else raises
+    :class:`~repro.errors.ValidationError`.  Synchronous and potentially
+    expensive (scenario construction) — callers on an event loop run it
+    in an executor.  Shared by the single-process gateway's reload
+    endpoint and the cluster supervisor's fan-out validation, so both
+    reject exactly the same bodies with exactly the same messages.
+    """
+    # Imported here, not at module top: repro.workloads pulls in the full
+    # planning stack, which the lightweight wire-codec users (loadgen,
+    # tests) do not need.
+    from repro.workloads.io import scenario_from_dict
+    from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"reload body is not valid JSON: {exc}") from None
+    if not isinstance(data, Mapping):
+        raise ValidationError("reload body must be a JSON object")
+    if data.get("document") == "repro-scenario":
+        return scenario_from_dict(data)
+    synthetic = data.get("synthetic")
+    if isinstance(synthetic, Mapping):
+        allowed = {"seed", "n_services", "n_formats", "n_nodes"}
+        unknown = set(synthetic) - allowed
+        if unknown:
+            raise ValidationError(
+                f"unknown synthetic scenario keys: {sorted(unknown)}"
+            )
+        coerced = {}
+        for key, value in synthetic.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValidationError(
+                    f"synthetic scenario key {key!r} must be an integer, "
+                    f"got {value!r}"
+                )
+            coerced[key] = value
+        return generate_scenario(SyntheticConfig(**coerced))
+    raise ValidationError(
+        "reload body must be a repro-scenario document or "
+        "{'synthetic': {...}}"
     )
 
 

@@ -277,6 +277,36 @@ class TestScenarioFileErrors:
         line = self.one_line_error(text)
         assert "burst" in line
 
+    def test_serve_zero_workers(self):
+        code, text = run_cli("serve", "--workers", "0")
+        assert code == 2
+        line = self.one_line_error(text)
+        assert "--workers" in line
+
+    def test_serve_negative_workers(self):
+        code, text = run_cli("serve", "--workers", "-2")
+        assert code == 2
+        line = self.one_line_error(text)
+        assert "-2" in line
+
+    def test_loadgen_affinity_without_admin_port(self):
+        code, text = run_cli(
+            "loadgen", "--shard-affinity", "--requests", "5"
+        )
+        assert code == 2
+        line = self.one_line_error(text)
+        assert "admin" in line
+
+    def test_loadgen_affinity_with_unreachable_cluster(self):
+        # Nothing listens on this admin port: operational failure, not a
+        # traceback.
+        code, text = run_cli(
+            "loadgen", "--shard-affinity", "--admin-port", "1",
+            "--requests", "5",
+        )
+        assert code == 2
+        self.one_line_error(text)
+
 
 class TestServeLoadgenParsers:
     def test_serve_defaults(self):
@@ -284,10 +314,23 @@ class TestServeLoadgenParsers:
         assert args.command == "serve"
         assert args.port == 8077
         assert args.queue_depth == 256
-        assert args.workers == 4
+        # --workers counts processes (1 = the classic single daemon);
+        # --threads carries the old planning-thread meaning.
+        assert args.workers == 1
+        assert args.threads == 4
+        assert args.admin_port is None
         assert args.rate_limit == 0.0
         assert args.service_floor_ms == 0.0
         assert args.scenario is None
+
+    def test_serve_cluster_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--workers", "4", "--threads", "2",
+            "--admin-port", "9100",
+        ])
+        assert args.workers == 4
+        assert args.threads == 2
+        assert args.admin_port == 9100
 
     def test_loadgen_flags(self):
         args = build_parser().parse_args([
@@ -300,6 +343,15 @@ class TestServeLoadgenParsers:
         assert args.rate == 250.0
         assert args.seed_arrivals == 4
         assert args.json is True
+        assert args.shard_affinity is False
+        assert args.admin_port is None
+
+    def test_loadgen_affinity_flags(self):
+        args = build_parser().parse_args([
+            "loadgen", "--shard-affinity", "--admin-port", "8078",
+        ])
+        assert args.shard_affinity is True
+        assert args.admin_port == 8078
 
 
 class TestLintCommand:

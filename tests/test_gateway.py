@@ -520,3 +520,102 @@ class TestLoadgenDeterminism:
         base = self.run_campaign()
         assert base.rate_per_s == 300.0
         assert base.seed == 9
+
+    def test_standalone_gateway_reports_no_worker_distribution(self):
+        report = self.run_campaign()
+        assert report.worker_distribution() == {}
+        assert "per worker" not in report.summary()
+
+
+class TestWorkerIdentity:
+    """A gateway configured as a cluster member stamps and meters."""
+
+    def test_worker_id_header_on_every_response_class(self):
+        async def scenario(gateway):
+            plan = await request(gateway.port, "POST", "/plan", {})
+            metrics = await request(gateway.port, "GET", "/metrics")
+            missing = await request(gateway.port, "GET", "/nope")
+            return plan, metrics, missing
+
+        responses = run_against_gateway(
+            scenario, worker_id=3, cluster_size=4
+        )
+        for status, _, headers in responses:
+            assert headers["x-worker-id"] == "3"
+
+    def test_standalone_gateway_adds_no_identity(self):
+        async def scenario(gateway):
+            return await request(gateway.port, "POST", "/plan", {})
+
+        _, _, headers = run_against_gateway(scenario)
+        assert "x-worker-id" not in headers
+
+    def test_protocol_error_response_carries_identity(self):
+        async def scenario(gateway):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            writer.write(b"BOGUS\r\n\r\n")
+            await writer.drain()
+            response = await read_response(reader)
+            writer.close()
+            return response
+
+        response = run_against_gateway(scenario, worker_id=1, cluster_size=2)
+        assert response.status == 400
+        assert response.headers["x-worker-id"] == "1"
+
+    def test_hinted_requests_meter_hits_and_misses(self):
+        from repro.serve import ShardRouter
+
+        router = ShardRouter.for_cluster(2)
+        owned = next(
+            f"hint-{i}" for i in range(100) if router.route(f"hint-{i}") == 0
+        )
+        foreign = next(
+            f"hint-{i}" for i in range(100) if router.route(f"hint-{i}") == 1
+        )
+
+        async def scenario(gateway):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            for hint in (owned, owned, foreign):
+                writer.write(
+                    render_request(
+                        "POST", "/plan", encode_payload({}),
+                        headers={"x-shard-hint": hint},
+                    )
+                )
+                await writer.drain()
+                await read_response(reader)
+            writer.close()
+            return gateway.metrics.counters
+
+        counters = run_against_gateway(scenario, worker_id=0, cluster_size=2)
+        assert counters["shard_hits"] == 2
+        assert counters["shard_misses"] == 1
+
+    def test_unhinted_requests_meter_nothing(self):
+        async def scenario(gateway):
+            await request(gateway.port, "POST", "/plan", {})
+            return gateway.metrics.counters
+
+        counters = run_against_gateway(scenario, worker_id=0, cluster_size=2)
+        assert counters["shard_hits"] == 0
+        assert counters["shard_misses"] == 0
+
+    def test_private_port_serves_the_same_dispatch(self):
+        async def scenario(gateway):
+            assert gateway.private_port is not None
+            assert gateway.private_port != gateway.port
+            plan = await request(gateway.private_port, "POST", "/plan", {})
+            metrics = await request(gateway.private_port, "GET", "/metrics")
+            return plan, metrics
+
+        plan, metrics = run_against_gateway(
+            scenario, worker_id=0, cluster_size=2, private_port=0
+        )
+        assert plan[0] == 200
+        assert metrics[0] == 200
+        assert metrics[1]["metrics"]["worker_id"] == 0

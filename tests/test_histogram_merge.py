@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) on histogram merging.
+
+The cluster supervisor's merged ``/metrics`` is only honest if merging
+per-worker histograms reproduces the histogram a single process would
+have built from the same observations.  These properties pin that:
+merging any partition of an observation stream equals the whole-stream
+histogram bucket-for-bucket, merge is associative and commutative, and
+the JSON round-trip the supervisor actually performs (``to_dict`` →
+``from_dict`` → ``merge``) loses nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.runtime.metrics import Histogram, merge_histogram_dicts
+from repro.serve.metrics import LATENCY_BUCKETS_MS, SATISFACTION_BUCKETS
+
+#: Observations spanning underflow, every bucket, and overflow.
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=5000.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=200,
+)
+
+
+def build(values, bounds=LATENCY_BUCKETS_MS) -> Histogram:
+    histogram = Histogram(bounds)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestMergeProperties:
+    @given(values=observations, split=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_of_any_split_equals_the_whole(self, values, split):
+        cut = min(split, len(values))
+        whole = build(values)
+        merged = build(values[:cut]).merge(build(values[cut:]))
+        assert merged == whole
+        assert merged.to_dict()["counts"] == whole.to_dict()["counts"]
+
+    @given(
+        a=observations, b=observations, c=observations
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_associative_and_commutative(self, a, b, c):
+        ha, hb, hc = build(a), build(b), build(c)
+        assert ha.merge(hb).merge(hc) == ha.merge(hb.merge(hc))
+        assert ha.merge(hb) == hb.merge(ha)
+
+    @given(values=observations)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_with_empty_is_identity(self, values):
+        histogram = build(values)
+        assert histogram.merge(Histogram(LATENCY_BUCKETS_MS)) == histogram
+
+    @given(values=observations)
+    @settings(max_examples=30, deadline=None)
+    def test_json_round_trip_is_lossless(self, values):
+        # to_dict rounds the running sum to 1e-6, so the wire form — not
+        # the in-memory float — is the fixed point: parsing a document
+        # and re-exporting it must reproduce it byte-for-byte.
+        document = build(values).to_dict()
+        assert Histogram.from_dict(document).to_dict() == document
+
+    @given(
+        values=observations,
+        parts=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_histogram_dicts_matches_whole_stream(self, values, parts):
+        # The supervisor's actual code path: workers export dicts, the
+        # parent merges the exports.  Bucket contents must match the
+        # whole-stream histogram exactly; the running sum only up to the
+        # per-export rounding (to_dict rounds each worker's sum to 1e-6).
+        chunks = [values[i::parts] for i in range(parts)]
+        documents = [build(chunk).to_dict() for chunk in chunks]
+        merged = merge_histogram_dicts(documents)
+        whole = build(values).to_dict()
+        assert merged["bounds"] == whole["bounds"]
+        assert merged["counts"] == whole["counts"]
+        assert merged["count"] == whole["count"]
+        assert merged["sum"] == pytest.approx(whole["sum"], abs=1e-4)
+
+
+class TestMergeValidation:
+    def test_bounds_mismatch_refuses_rather_than_rebuckets(self):
+        with pytest.raises(ValidationError):
+            Histogram(LATENCY_BUCKETS_MS).merge(Histogram(SATISFACTION_BUCKETS))
+
+    def test_merge_with_non_histogram_refuses(self):
+        with pytest.raises(ValidationError):
+            Histogram(LATENCY_BUCKETS_MS).merge({"counts": []})
+
+    def test_merge_zero_documents_refuses(self):
+        with pytest.raises(ValidationError):
+            merge_histogram_dicts([])
+
+    def test_from_dict_rejects_corrupt_documents(self):
+        good = build([1.0, 10.0, 100.0]).to_dict()
+        for corruption in (
+            {**good, "counts": good["counts"][:-1]},          # array mismatch
+            {**good, "counts": [*good["counts"][:-1], -1]},   # negative count
+            {**good, "counts": [*good["counts"][:-1], 1.5]},  # float count
+            {**good, "count": good["count"] + 1},             # count disagrees
+            {**good, "sum": "lots"},                          # non-numeric sum
+            {**good, "bounds": "ascending"},                  # bounds not a list
+            {**good, "bounds": list(reversed(good["bounds"]))},
+        ):
+            with pytest.raises(ValidationError):
+                Histogram.from_dict(corruption)
+
+    def test_quantile_domain_is_validated(self):
+        histogram = build([1.0, 2.0, 3.0])
+        with pytest.raises(ValidationError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValidationError):
+            histogram.quantile(1.5)

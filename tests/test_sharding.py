@@ -1,0 +1,134 @@
+"""Unit tests for device-class shard hints and the consistent-hash ring.
+
+The ring is pure arithmetic — no processes, no sockets — so these tests
+pin the properties the cluster leans on: determinism in the worker-id
+set, even-ish spread, bounded movement when the cluster resizes, and a
+hint function that tracks the device profile's cache key exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.planner.workload import device_variants
+from repro.serve.sharding import (
+    SHARD_HINT_HEADER,
+    WORKER_ID_HEADER,
+    DEFAULT_REPLICAS,
+    ShardRouter,
+    device_shard_hint,
+)
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+SCENARIO = generate_scenario(
+    SyntheticConfig(seed=7, n_services=10, n_formats=6, n_nodes=6)
+)
+
+
+class TestDeviceShardHint:
+    def test_stable_across_calls(self):
+        assert device_shard_hint(SCENARIO.device) == device_shard_hint(
+            SCENARIO.device
+        )
+
+    def test_distinct_device_classes_hint_distinctly(self):
+        variants = device_variants(SCENARIO.device, 16)
+        hints = {device_shard_hint(variant) for variant in variants}
+        assert len(hints) == 16
+
+    def test_tracks_the_cache_key(self):
+        # Two profile objects with identical cache keys must produce
+        # identical hints — the hint is a function of the fingerprint
+        # component, not of object identity.
+        variants_a = device_variants(SCENARIO.device, 4)
+        variants_b = device_variants(SCENARIO.device, 4)
+        for a, b in zip(variants_a, variants_b):
+            assert a.cache_key() == b.cache_key()
+            assert device_shard_hint(a) == device_shard_hint(b)
+
+    def test_headers_are_lowercase_wire_safe(self):
+        assert SHARD_HINT_HEADER == SHARD_HINT_HEADER.lower()
+        assert WORKER_ID_HEADER == WORKER_ID_HEADER.lower()
+
+
+class TestShardRouter:
+    def test_deterministic_in_the_worker_set(self):
+        a = ShardRouter.for_cluster(4)
+        b = ShardRouter([0, 1, 2, 3])
+        assert a == b
+        hints = [f"hint-{i}" for i in range(100)]
+        assert [a.route(h) for h in hints] == [b.route(h) for h in hints]
+
+    def test_routes_within_the_worker_set(self):
+        router = ShardRouter.for_cluster(3)
+        for i in range(200):
+            assert router.route(f"hint-{i}") in (0, 1, 2)
+
+    def test_spread_is_roughly_even(self):
+        router = ShardRouter.for_cluster(4)
+        hints = [f"device-{i}" for i in range(2000)]
+        counts = router.distribution(hints)
+        assert set(counts) == {0, 1, 2, 3}
+        # 64 vnodes keeps worst-case imbalance well under 2x on this
+        # sample size; an uneven ring would fail loudly here.
+        assert min(counts.values()) > 200
+        assert max(counts.values()) < 1000
+
+    def test_distribution_includes_idle_workers(self):
+        router = ShardRouter.for_cluster(8)
+        counts = router.distribution(["only-one-hint"])
+        assert set(counts) == set(range(8))
+        assert sum(counts.values()) == 1
+
+    def test_resize_moves_a_minority_of_hints(self):
+        # The consistent-hash property the cluster's restart story needs:
+        # going 4 -> 5 workers must not reshuffle most of the hint space.
+        before = ShardRouter.for_cluster(4)
+        after = ShardRouter.for_cluster(5)
+        hints = [f"device-{i}" for i in range(1000)]
+        moved = sum(
+            1 for hint in hints if before.route(hint) != after.route(hint)
+        )
+        assert moved < 500  # ideal ~1/5; far below a full reshuffle
+
+    def test_wire_round_trip(self):
+        router = ShardRouter.for_cluster(3)
+        assert ShardRouter.from_dict(router.to_dict()) == router
+        assert router.to_dict() == {
+            "worker_ids": [0, 1, 2],
+            "replicas": DEFAULT_REPLICAS,
+        }
+
+    def test_from_dict_rejects_malformed_documents(self):
+        with pytest.raises(ValidationError):
+            ShardRouter.from_dict({"worker_ids": "012"})
+        with pytest.raises(ValidationError):
+            ShardRouter.from_dict({"worker_ids": [0, True]})
+        with pytest.raises(ValidationError):
+            ShardRouter.from_dict({"worker_ids": [0, 1], "replicas": "many"})
+        with pytest.raises(ValidationError):
+            ShardRouter.from_dict({"worker_ids": []})
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValidationError):
+            ShardRouter([])
+        with pytest.raises(ValidationError):
+            ShardRouter([1, 1])
+        with pytest.raises(ValidationError):
+            ShardRouter([0], replicas=0)
+        with pytest.raises(ValidationError):
+            ShardRouter.for_cluster(0)
+
+    @given(
+        workers=st.integers(min_value=1, max_value=8),
+        hint=st.text(min_size=1, max_size=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_route_is_total_and_stable(self, workers, hint):
+        router = ShardRouter.for_cluster(workers)
+        owner = router.route(hint)
+        assert 0 <= owner < workers
+        assert router.route(hint) == owner
+        assert ShardRouter.for_cluster(workers).route(hint) == owner
