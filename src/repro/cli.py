@@ -273,6 +273,7 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         ClusterConfig,
         ClusterSupervisor,
         GatewayConfig,
+        HealthConfig,
         PlanningGateway,
     )
 
@@ -282,6 +283,18 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     scenario = _serving_scenario(args, out)
     if scenario is None:
         return 2
+    health = None
+    if args.health:
+        try:
+            health = HealthConfig(
+                seed=args.seed,
+                open_threshold=args.health_open_threshold,
+                cooldown_s=args.health_cooldown,
+                min_samples=args.health_min_samples,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
     config = GatewayConfig(
         host=args.host,
         port=args.port,
@@ -293,6 +306,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         cache_size=args.cache_size,
         drain_grace_s=args.drain_grace,
         service_floor_ms=args.service_floor_ms,
+        health=health,
+        degraded_budget_ms=args.degraded_budget_ms,
     )
     if args.workers == 1:
         # Single process: no supervisor, no fork, no admin server — the
@@ -380,6 +395,8 @@ def cmd_loadgen(args: argparse.Namespace, out) -> int:
         timeout_s=args.timeout,
         shard_affinity=args.shard_affinity,
         admin_port=args.admin_port,
+        retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
     )
     try:
         report = asyncio.run(run_loadgen(scenario, config))
@@ -507,7 +524,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--scenario",
         default="steady",
-        help="named campaign: steady, flash-crowd, failover-storm, link-churn",
+        help="named campaign: steady, flash-crowd, failover-storm, "
+             "link-churn, gray-failure",
     )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
@@ -583,6 +601,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds granted to in-flight work at drain")
     serve.add_argument("--service-floor-ms", type=float, default=0.0,
                        help="test knob: pad each served request to this floor")
+    serve.add_argument("--health", action="store_true",
+                       help="enable per-service failure detection, circuit "
+                            "breakers, and degraded-mode fallback")
+    serve.add_argument("--health-cooldown", type=float, default=1.0,
+                       help="seconds an OPEN breaker waits before HALF_OPEN "
+                            "probes (jittered; default 1.0)")
+    serve.add_argument("--health-open-threshold", type=float, default=0.7,
+                       help="EWMA failure score that trips a breaker "
+                            "(default 0.7)")
+    serve.add_argument("--health-min-samples", type=int, default=5,
+                       help="outcome samples required before a breaker may "
+                            "trip (default 5)")
+    serve.add_argument("--degraded-budget-ms", type=float, default=25.0,
+                       help="remaining deadline budget below which a request "
+                            "answers degraded instead of planning")
 
     loadgen = commands.add_parser(
         "loadgen",
@@ -606,6 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "owning its device-class shard (needs --admin-port)")
     loadgen.add_argument("--admin-port", type=int, default=None,
                          help="cluster admin port to fetch the topology from")
+    loadgen.add_argument("--retries", type=int, default=0,
+                         help="retry 429/connection-refused responses up to "
+                              "N times with seeded jittered backoff")
+    loadgen.add_argument("--retry-backoff", type=float, default=0.05,
+                         help="base retry delay in seconds (doubles per "
+                              "attempt; default 0.05)")
     loadgen.add_argument("--json", action="store_true",
                          help="print the full JSON report")
     loadgen.add_argument("--output", default=None, metavar="PATH",

@@ -13,6 +13,13 @@ operational contract.
 from repro.serve.admission import DeadlineQueue, RateLimiter, TokenBucket
 from repro.serve.cluster import ClusterConfig, ClusterSupervisor
 from repro.serve.gateway import GatewayConfig, PlanningGateway
+from repro.serve.health import (
+    BreakerState,
+    CircuitBreaker,
+    FailureDetector,
+    HealthConfig,
+    HealthRegistry,
+)
 from repro.serve.loadgen import (
     LoadgenConfig,
     LoadgenReport,
@@ -35,6 +42,11 @@ __all__ = [
     "ClusterSupervisor",
     "GatewayConfig",
     "PlanningGateway",
+    "BreakerState",
+    "CircuitBreaker",
+    "FailureDetector",
+    "HealthConfig",
+    "HealthRegistry",
     "LoadgenConfig",
     "LoadgenReport",
     "RequestOutcome",

@@ -76,8 +76,6 @@ from repro.workloads.scenario import Scenario
 
 __all__ = ["ClusterConfig", "ClusterSupervisor", "supports_reuseport"]
 
-#: How long a reload broadcast waits for every worker's acknowledgement.
-_RELOAD_ACK_TIMEOUT_S = 30.0
 #: Per-scrape timeout when the supervisor fetches a worker's /metrics.
 _SCRAPE_TIMEOUT_S = 2.0
 
@@ -104,6 +102,13 @@ class ClusterConfig:
     #: How long :meth:`ClusterSupervisor.start` waits for every worker's
     #: ``ready`` message before declaring the boot failed.
     ready_timeout_s: float = 15.0
+    #: Per-worker bound on a reload acknowledgement: a worker that has
+    #: not answered by then is reported with status ``timeout`` instead
+    #: of stalling the whole fan-out (e.g. a SIGSTOP'd process).
+    reload_timeout_s: float = 30.0
+    #: Extra wait past the workers' own ``drain_grace_s`` before the
+    #: supervisor terminates (then kills) stragglers at drain.
+    drain_margin_s: float = 5.0
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +154,25 @@ async def _worker_async(
     gateway = PlanningGateway(scenario, config)
     loop = asyncio.get_running_loop()
 
+    # Local breaker transitions flow up to the supervisor, which fans
+    # them out to the sibling workers — every worker converges on one
+    # cluster-wide quarantine view regardless of which one saw the
+    # failing outcomes.
+    def on_health_transition(record: Any) -> None:
+        _send_safe(
+            conn,
+            (
+                "health",
+                {
+                    "service": record.service_id,
+                    "state": record.new,
+                    "reason": record.reason,
+                },
+            ),
+        )
+
+    gateway.on_health_transition = on_health_transition
+
     def on_control() -> None:
         try:
             message, payload = conn.recv()
@@ -166,6 +190,12 @@ async def _worker_async(
             loop.create_task(_child_reload_body(gateway, conn, payload))
         elif message == "reload_path":
             loop.create_task(_child_reload_path(gateway, conn, scenario_path))
+        elif message == "health_apply" and isinstance(payload, Mapping):
+            gateway.apply_remote_health(
+                str(payload.get("service", "")),
+                str(payload.get("state", "")),
+                reason=str(payload.get("reason", "cluster")),
+            )
 
     def on_ready(gw: PlanningGateway) -> None:
         loop.add_reader(conn.fileno(), on_control)
@@ -294,6 +324,12 @@ class ClusterSupervisor:
         self._drain_requested: Optional[asyncio.Event] = None
         self._worker_restarts = 0
         self._reload_lock: Optional[asyncio.Lock] = None
+        #: Reload fan-outs currently awaiting worker acknowledgements;
+        #: /readyz answers 503 while this is non-zero.
+        self._reload_inflight = 0
+        #: Latest breaker verdict per service, as reported by workers —
+        #: the merged view GET /health serves without scraping.
+        self._health_view: Dict[str, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -417,21 +453,36 @@ class ClusterSupervisor:
         """Fan out drain, wait for every worker to exit, merge final metrics.
 
         No restart fires once draining starts.  Workers that outlive the
-        grace window (their own ``drain_grace_s`` plus margin) are
-        terminated; every worker that completed its drain contributes its
-        final metrics document to the merge.
+        grace window (their own ``drain_grace_s`` plus
+        ``drain_margin_s``) are terminated, and workers that survive
+        even SIGTERM (stopped or wedged processes) are killed — a hung
+        worker bounds, never blocks, the parent's exit.  Every worker
+        that completed its drain contributes its final metrics document
+        to the merge.
         """
         self._draining = True
         loop = asyncio.get_running_loop()
         for handle in self._handles.values():
             if handle.alive and handle.conn is not None:
                 _send_safe(handle.conn, ("drain", None))
-        deadline = loop.time() + self._gateway_config.drain_grace_s + 5.0
+        deadline = (
+            loop.time()
+            + self._gateway_config.drain_grace_s
+            + self._cluster.drain_margin_s
+        )
         while self._alive_count() and loop.time() < deadline:
             await asyncio.sleep(0.02)
         for handle in self._handles.values():
             if handle.alive and handle.process is not None:
                 handle.process.terminate()
+        deadline = loop.time() + 2.0
+        while self._alive_count() and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        # SIGTERM never reaches a SIGSTOP'd process's handlers; SIGKILL
+        # does.  Anything still alive here is beyond graceful shutdown.
+        for handle in self._handles.values():
+            if handle.alive and handle.process is not None:
+                handle.process.kill()
         deadline = loop.time() + 2.0
         while self._alive_count() and loop.time() < deadline:
             await asyncio.sleep(0.02)
@@ -552,6 +603,22 @@ class ClusterSupervisor:
             handle.generation = payload.get("generation", handle.generation)
             handle.backoff_s = 0.0
             handle.ready.set()
+            # A restarted worker boots with empty breakers; replay the
+            # cluster view so it converges without re-learning failures.
+            for service_id, entry in self._health_view.items():
+                _send_safe(
+                    handle.conn,
+                    (
+                        "health_apply",
+                        {
+                            "service": service_id,
+                            "state": entry["state"],
+                            "reason": "replay",
+                        },
+                    ),
+                )
+        elif message == "health":
+            self._on_worker_health(handle, payload)
         elif message == "reloaded":
             if isinstance(payload, Mapping):
                 handle.generation = payload.get(
@@ -562,6 +629,53 @@ class ClusterSupervisor:
             self._resolve_reload(handle, ("error", payload))
         elif message == "drained":
             handle.final_metrics = payload
+
+    def _on_worker_health(self, handle: _WorkerHandle, payload: Any) -> None:
+        """One worker's breaker transition: record it, fan it out.
+
+        The reporting worker already applied the transition locally; the
+        supervisor updates its merged view and relays to every *other*
+        live worker.  Receivers apply it with their callback suppressed,
+        so a relay can never echo back — no broadcast loops.
+        """
+        if not isinstance(payload, Mapping):
+            return
+        service = payload.get("service")
+        state = payload.get("state")
+        if not isinstance(service, str) or not service:
+            return
+        if not isinstance(state, str) or not state:
+            return
+        self._health_view[service] = {
+            "state": state,
+            "worker_id": handle.worker_id,
+            "reason": str(payload.get("reason", "")),
+        }
+        for other in self._handles.values():
+            if (
+                other.worker_id != handle.worker_id
+                and other.alive
+                and other.conn is not None
+            ):
+                _send_safe(other.conn, ("health_apply", dict(payload)))
+
+    def health_document(self) -> Dict[str, Any]:
+        """The parent ``GET /health``: latest verdict per service."""
+        open_services = sorted(
+            service
+            for service, entry in self._health_view.items()
+            if entry["state"] == "open"
+        )
+        return {
+            "status": "ok",
+            "workers": self._cluster.workers,
+            "tracked": len(self._health_view),
+            "open": open_services,
+            "services": {
+                service: dict(entry)
+                for service, entry in sorted(self._health_view.items())
+            },
+        }
 
     @staticmethod
     def _resolve_reload(handle: _WorkerHandle, result: Tuple[str, Any]) -> None:
@@ -692,20 +806,36 @@ class ClusterSupervisor:
             return 200, await self.merged_metrics()
         if route == ("GET", "/cluster"):
             return 200, self.cluster_document()
+        if route == ("GET", "/health"):
+            return 200, self.health_document()
         if route == ("GET", "/healthz"):
             return 200, {"status": "alive", "alive": self._alive_count()}
         if route == ("GET", "/readyz"):
             if self._draining:
                 return 503, error_payload("draining")
+            if self._reload_inflight:
+                return 503, error_payload(
+                    "reloading", "reload fan-out in flight"
+                )
             if not all(
                 handle.ready.is_set() for handle in self._handles.values()
             ):
                 return 503, error_payload("starting")
+            open_count = sum(
+                1
+                for entry in self._health_view.values()
+                if entry["state"] == "open"
+            )
+            if self._health_view and open_count * 2 > len(self._health_view):
+                return 503, error_payload(
+                    "degraded",
+                    f"{open_count}/{len(self._health_view)} breakers open",
+                )
             return 200, {"status": "ready", "workers": self._cluster.workers}
         if route == ("POST", "/admin/reload"):
             return await self._handle_reload(request.body)
-        if request.path in ("/metrics", "/cluster", "/healthz", "/readyz",
-                            "/admin/reload"):
+        if request.path in ("/metrics", "/cluster", "/health", "/healthz",
+                            "/readyz", "/admin/reload"):
             return 405, error_payload("invalid", "method not allowed")
         return 404, error_payload("invalid", f"no route {request.path!r}")
 
@@ -748,34 +878,52 @@ class ClusterSupervisor:
 
         Serialized under a lock so concurrent reloads cannot interleave
         their acknowledgement futures; a worker that dies mid-reload
-        resolves its future via :meth:`_on_worker_exit`.
+        resolves its future via :meth:`_on_worker_exit`.  Each worker's
+        acknowledgement is bounded by ``reload_timeout_s`` — a hung
+        worker (stopped, livelocked) is reported as ``timeout`` instead
+        of stalling the parent indefinitely.  ``/readyz`` answers 503
+        for the whole fan-out window.
         """
         loop = asyncio.get_running_loop()
-        async with self._reload_lock:
-            futures: Dict[int, "asyncio.Future"] = {}
-            for handle in self._handles.values():
-                if not handle.alive or handle.conn is None:
-                    continue
-                future = loop.create_future()
-                handle.pending_reload = future
-                futures[handle.worker_id] = future
-                try:
-                    handle.conn.send(message)
-                except (OSError, ValueError):
-                    self._resolve_reload(handle, ("error", "worker unreachable"))
-            if futures:
-                await asyncio.wait(
-                    futures.values(), timeout=_RELOAD_ACK_TIMEOUT_S
-                )
-            results: Dict[int, Tuple[str, Any]] = {}
-            for worker_id, future in futures.items():
-                if future.done():
-                    results[worker_id] = future.result()
-                else:
-                    future.cancel()
-                    results[worker_id] = ("error", "reload ack timed out")
-                self._handles[worker_id].pending_reload = None
-            return results
+        self._reload_inflight += 1
+        try:
+            async with self._reload_lock:
+                futures: Dict[int, "asyncio.Future"] = {}
+                for handle in self._handles.values():
+                    if not handle.alive or handle.conn is None:
+                        continue
+                    future = loop.create_future()
+                    handle.pending_reload = future
+                    futures[handle.worker_id] = future
+                    try:
+                        handle.conn.send(message)
+                    except (OSError, ValueError):
+                        self._resolve_reload(
+                            handle, ("error", "worker unreachable")
+                        )
+                if futures:
+                    # One wait bounds every worker: the sends all went
+                    # out before it started, so the shared window is a
+                    # per-worker acknowledgement budget.
+                    await asyncio.wait(
+                        futures.values(),
+                        timeout=self._cluster.reload_timeout_s,
+                    )
+                results: Dict[int, Tuple[str, Any]] = {}
+                for worker_id, future in futures.items():
+                    if future.done():
+                        results[worker_id] = future.result()
+                    else:
+                        future.cancel()
+                        results[worker_id] = (
+                            "timeout",
+                            f"no acknowledgement within "
+                            f"{self._cluster.reload_timeout_s:g}s",
+                        )
+                    self._handles[worker_id].pending_reload = None
+                return results
+        finally:
+            self._reload_inflight -= 1
 
     # ------------------------------------------------------------------
     # Metrics

@@ -37,18 +37,28 @@ from repro.errors import (
     GatewayProtocolError,
     ReproError,
 )
+from repro.network.placement import ServicePlacement
 from repro.planner.batch import BatchPlanner, PlanRequest
 from repro.planner.cache import PlanCache
 from repro.serve.admission import DeadlineQueue, RateLimiter
+from repro.serve.health import (
+    BreakerState,
+    HealthConfig,
+    HealthRegistry,
+    TransitionRecord,
+)
 from repro.serve.http11 import HttpRequest, read_request, render_response
 from repro.serve.metrics import GatewayMetrics
 from repro.serve.protocol import (
+    decode_outcome_report,
     decode_plan_request,
     decode_reload_scenario,
+    degraded_response_payload,
     encode_payload,
     error_payload,
     plan_response_payload,
 )
+from repro.services.catalog import ServiceCatalog
 from repro.serve.sharding import (
     SHARD_HINT_HEADER,
     WORKER_ID_HEADER,
@@ -111,6 +121,17 @@ class GatewayConfig:
     #: affinity-aware clients route hinted requests here, bypassing the
     #: kernel's shared-port balancing.
     private_port: Optional[int] = None
+    #: When set, enables the per-service failure detector and circuit
+    #: breakers (:mod:`repro.serve.health`): ``POST /report`` feeds
+    #: outcomes, OPEN services are masked from planning through a
+    #: quarantine overlay, and infeasibility caused by quarantine (or a
+    #: nearly spent deadline) answers a degraded passthrough instead of
+    #: an error.  ``None`` keeps the classic fail-open behavior.
+    health: Optional[HealthConfig] = None
+    #: With health enabled: if the remaining deadline budget at dequeue
+    #: is at or below this, answer degraded immediately rather than
+    #: gamble on a planning run that would likely 504.
+    degraded_budget_ms: float = 25.0
 
 
 @dataclass
@@ -190,6 +211,22 @@ class PlanningGateway:
         # the planning thread — hence the lock.
         self._executor_lock = threading.Lock()
         self._executor_outstanding = 0
+        # Service health: breakers feed the quarantine overlay.  The
+        # overlay planner is a single-entry cache keyed on (generation,
+        # quarantine set); a quarantine change flushes the base plan
+        # cache so stale plans die with the breaker trip.
+        self._health: Optional[HealthRegistry] = (
+            HealthRegistry(
+                self._config.health, on_transition=self._on_breaker_transition
+            )
+            if self._config.health is not None
+            else None
+        )
+        self._active_quarantine: frozenset = frozenset()
+        self._overlay: Optional[Tuple[Any, BatchPlanner]] = None
+        #: Cluster hook: a worker process forwards local breaker
+        #: transitions to its supervisor through this callable.
+        self.on_health_transition: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -253,6 +290,99 @@ class PlanningGateway:
             },
             worker_id=self._config.worker_id,
         )
+
+    # ------------------------------------------------------------------
+    # Service health
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> Optional[HealthRegistry]:
+        return self._health
+
+    def _health_now(self) -> float:
+        return self._loop.time() if self._loop is not None else 0.0
+
+    def _on_breaker_transition(self, record: TransitionRecord) -> None:
+        if record.new == BreakerState.OPEN.value:
+            self._metrics.bump("breaker_opens")
+        elif record.new == BreakerState.CLOSED.value:
+            self._metrics.bump("breaker_closes")
+        if self.on_health_transition is not None:
+            self.on_health_transition(record)
+
+    def apply_remote_health(
+        self, service_id: str, state: str, reason: str = "remote"
+    ) -> None:
+        """Converge this worker's breaker on a cluster peer's verdict."""
+        if self._health is None or not service_id:
+            return
+        try:
+            self._health.apply_remote(
+                service_id, state, self._health_now(), reason=reason
+            )
+        except ReproError:
+            # An unknown state string from a peer is dropped, not fatal.
+            pass
+
+    def health_document(self) -> Dict[str, Any]:
+        """The ``GET /health`` payload: per-service breaker states."""
+        if self._health is None:
+            return {"status": "disabled", "enabled": False}
+        document: Dict[str, Any] = {"status": "ok", "enabled": True}
+        document.update(self._health.snapshot(self._health_now()))
+        return document
+
+    def _quarantine_planner(self, state: _GatewayState) -> BatchPlanner:
+        """The planner to serve with, masking OPEN services.
+
+        Tracks the quarantine set: any change flushes the base plan
+        cache (stale plans must die with the breaker trip) and drops the
+        overlay.  With an empty quarantine the base planner serves as
+        before; otherwise a filtered catalog/placement overlay planner
+        is built once per (generation, quarantine set) — with its *own*
+        plan cache, because fingerprints embed generation counters that
+        restart per freshly built catalog and must never collide across
+        overlays.
+        """
+        quarantined = (
+            self._health.quarantined(self._health_now())
+            if self._health is not None
+            else frozenset()
+        )
+        if quarantined != self._active_quarantine:
+            self._active_quarantine = quarantined
+            self._overlay = None
+            self._cache.clear()
+            self._metrics.bump("quarantine_rebuilds")
+        if not quarantined:
+            return state.planner
+        key = (state.generation, quarantined)
+        if self._overlay is not None and self._overlay[0] == key:
+            return self._overlay[1]
+        scenario = state.scenario
+        alive = [
+            descriptor
+            for descriptor in scenario.catalog
+            if descriptor.service_id not in quarantined
+        ]
+        catalog = ServiceCatalog(alive)
+        mapping = {
+            service_id: node_id
+            for service_id, node_id in scenario.placement.as_dict().items()
+            if service_id in catalog
+        }
+        placement = ServicePlacement(scenario.placement.topology, mapping)
+        planner = BatchPlanner(
+            registry=scenario.registry,
+            parameters=scenario.parameters,
+            catalog=catalog,
+            placement=placement,
+            cache=PlanCache(max_entries=self._config.cache_size),
+            max_workers=1,
+            record_trace=False,
+            optimize_memo=state.planner.optimize_memo,
+        )
+        self._overlay = (key, planner)
+        return planner
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -415,6 +545,7 @@ class PlanningGateway:
         self._state = _new_state(
             scenario, self._cache, generation=self._state.generation + 1
         )
+        self._overlay = None
         invalidated = self._cache.clear()
         self._metrics.bump("reloads")
         return {
@@ -551,18 +682,77 @@ class PlanningGateway:
             return await self._handle_plan(request)
         if route == ("POST", "/admin/reload"):
             return await self._handle_reload(request)
+        if route == ("POST", "/report"):
+            return self._handle_report(request)
+        if route == ("GET", "/health"):
+            return 200, self.health_document(), {}
         if route == ("GET", "/healthz"):
             return 200, {"status": "alive", "generation": self.generation}, {}
         if route == ("GET", "/readyz"):
             if self._draining:
                 return 503, error_payload("draining"), {}
+            if self._health is not None:
+                states = self._health.states(self._health_now())
+                open_count = sum(
+                    1
+                    for state in states.values()
+                    if state is BreakerState.OPEN
+                )
+                if states and open_count * 2 > len(states):
+                    # More than half the tracked services are
+                    # quarantined: this gateway can mostly only degrade,
+                    # so tell load balancers to route around it.
+                    return (
+                        503,
+                        error_payload(
+                            "degraded",
+                            f"{open_count}/{len(states)} breakers open",
+                        ),
+                        {},
+                    )
             return 200, {"status": "ready", "generation": self.generation}, {}
         if route == ("GET", "/metrics"):
             return 200, self.metrics_document(), {}
         if request.path in ("/plan", "/admin/reload", "/healthz", "/readyz",
-                            "/metrics"):
+                            "/metrics", "/report", "/health"):
             return 405, error_payload("invalid", "method not allowed"), {}
         return 404, error_payload("invalid", f"no route {request.path!r}"), {}
+
+    def _handle_report(
+        self, request: HttpRequest
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """``POST /report``: feed per-service session outcomes to breakers."""
+        if self._health is None:
+            return 200, {"status": "disabled", "accepted": 0}, {}
+        try:
+            _client, samples = decode_outcome_report(request.body)
+        except ReproError as exc:
+            self._metrics.bump("invalid")
+            return 400, error_payload("invalid", str(exc)), {}
+        now = self._health_now()
+        catalog = self._state.scenario.catalog
+        accepted = 0
+        ignored = 0
+        for service_id, success in samples:
+            # Unknown services (stale clients, old catalog generations)
+            # are counted but never grow the breaker table unboundedly.
+            if service_id in catalog:
+                self._health.report(service_id, success, now)
+                accepted += 1
+            else:
+                ignored += 1
+        if accepted:
+            self._metrics.bump("reports", accepted)
+        return (
+            200,
+            {
+                "status": "ok",
+                "accepted": accepted,
+                "ignored": ignored,
+                "open": sorted(self._health.quarantined(now)),
+            },
+            {},
+        )
 
     async def _handle_reload(
         self, request: HttpRequest
@@ -721,6 +911,28 @@ class PlanningGateway:
             with self._executor_lock:
                 self._executor_outstanding -= 1
 
+    def _resolve_degraded(
+        self,
+        item: _QueuedRequest,
+        state: _GatewayState,
+        reason: str,
+        queue_ms: float,
+        plan_ms: float = 0.0,
+    ) -> None:
+        """Answer a zero-hop passthrough instead of a 5xx (health mode)."""
+        self._metrics.bump("degraded")
+        self._resolve(
+            item,
+            200,
+            degraded_response_payload(
+                reason=reason,
+                generation=state.generation,
+                queue_ms=queue_ms,
+                plan_ms=plan_ms,
+                quarantined=sorted(self._active_quarantine),
+            ),
+        )
+
     async def _plan_one(
         self,
         loop: asyncio.AbstractEventLoop,
@@ -729,6 +941,20 @@ class PlanningGateway:
         queue_ms: float,
     ) -> None:
         state = self._state
+        health_on = self._health is not None
+        if (
+            health_on
+            and (deadline - loop.time()) * 1000.0
+            <= self._config.degraded_budget_ms
+        ):
+            # The budget is nearly spent: a planning run would most
+            # likely 504.  Ship the source variant unadapted instead.
+            self._resolve_degraded(
+                item, state, "deadline budget nearly spent", queue_ms
+            )
+            return
+        planner = self._quarantine_planner(state) if health_on else state.planner
+        quarantined = self._active_quarantine if health_on else frozenset()
         plan_request = self._to_plan_request(state, item.envelope)
         with self._executor_lock:
             saturated = self._executor_outstanding >= self._config.workers
@@ -757,25 +983,58 @@ class PlanningGateway:
                 loop.run_in_executor(
                     self._executor,
                     self._run_plan,
-                    state.planner,
+                    planner,
                     plan_request,
                 ),
                 timeout=deadline - started,
             )
         except asyncio.TimeoutError:
             self._metrics.bump("timeouts")
+            if health_on:
+                self._resolve_degraded(
+                    item,
+                    state,
+                    "planning overran the deadline",
+                    queue_ms,
+                    plan_ms=(loop.time() - started) * 1000.0,
+                )
+                return
             self._resolve(
                 item,
                 504,
                 error_payload("timeout", "planning overran the deadline"),
             )
             return
+        except ReproError:
+            if quarantined:
+                # The masked catalog is what broke planning; that is a
+                # quality event, not a client error.
+                self._resolve_degraded(
+                    item,
+                    state,
+                    "quarantine left no plannable catalog",
+                    queue_ms,
+                    plan_ms=(loop.time() - started) * 1000.0,
+                )
+                return
+            raise
         plan_ms = (loop.time() - started) * 1000.0
         floor_s = self._config.service_floor_ms / 1000.0
         if floor_s > 0:
             pad = floor_s - (loop.time() - started)
             if pad > 0:
                 await asyncio.sleep(pad)
+        if not plan.success and quarantined:
+            # Feasible at full quality before the breaker trip, not
+            # under quarantine: degrade rather than answer infeasible.
+            self._resolve_degraded(
+                item,
+                state,
+                "no feasible full-quality path outside quarantine",
+                queue_ms,
+                plan_ms=plan_ms,
+            )
+            return
         self._metrics.bump("planned")
         if plan.success:
             self._metrics.satisfaction.observe(plan.result.satisfaction)

@@ -21,7 +21,7 @@ import hashlib
 import json
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import GatewayProtocolError, ValidationError
@@ -66,6 +66,17 @@ class LoadgenConfig:
     shard_affinity: bool = False
     #: The cluster supervisor's admin port (required for affinity).
     admin_port: Optional[int] = None
+    #: Opt-in retries per request on explicit backpressure (429) and
+    #: client-side transport failures.  0 preserves the classic
+    #: single-shot behavior.  The backoff schedule is a pure function of
+    #: ``(seed, request index)``, so the outcome digest stays
+    #: reproducible run to run.
+    retries: int = 0
+    #: Base delay of the seeded jittered exponential backoff.
+    retry_backoff_s: float = 0.05
+    #: Cap on any single retry delay; a server ``Retry-After`` is
+    #: honored up to this cap.
+    retry_backoff_max_s: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,11 @@ class RequestOutcome:
     #: The ``x-worker-id`` the answering process stamped on the response
     #: ("" standalone or on client-side failures).
     worker: str = ""
+    #: Attempts this outcome took (1 = first try; > 1 means retried).
+    attempts: int = 1
+    #: The server's ``Retry-After`` suggestion in seconds (0 when none);
+    #: plumbing for the retry loop, excluded from the digest.
+    retry_after_s: float = 0.0
 
     def digest_key(self) -> Tuple:
         """The deterministic slice of this outcome (no wall-clock).
@@ -92,6 +108,9 @@ class RequestOutcome:
         The worker id is deliberately excluded: without affinity the
         kernel's connection balancing decides which worker answers, so
         including it would make same-seed digests diverge run to run.
+        Attempt counts are excluded too: whether a retry was *needed*
+        depends on server-side timing, while the final outcome of a
+        seeded schedule is what two runs must agree on.
         """
         return (
             self.index,
@@ -141,6 +160,30 @@ class LoadgenReport:
         """Everything that is neither served nor an explicit shed/timeout."""
         return sum(
             1 for o in self.outcomes if o.status not in (200, 429, 504)
+        )
+
+    @property
+    def retried(self) -> int:
+        """Requests that needed more than one attempt."""
+        return sum(1 for o in self.outcomes if o.attempts > 1)
+
+    @property
+    def retry_attempts(self) -> int:
+        """Total extra attempts spent across the campaign."""
+        return sum(o.attempts - 1 for o in self.outcomes)
+
+    @property
+    def exhausted(self) -> int:
+        """Requests still failing retryably after the full retry budget.
+
+        The retry loop only stops early on a non-retryable outcome, so a
+        final 429 or client-side failure after >1 attempt means the
+        budget ran dry.
+        """
+        return sum(
+            1
+            for o in self.outcomes
+            if o.attempts > 1 and (o.status == 429 or o.status == 0)
         )
 
     @property
@@ -194,6 +237,9 @@ class LoadgenReport:
                 "timeouts": self.timeouts,
                 "client_failures": self.client_failures,
                 "failed": self.failed,
+                "retried": self.retried,
+                "retry_attempts": self.retry_attempts,
+                "exhausted": self.exhausted,
                 "by_outcome": self.by_outcome(),
                 "latency_ms": {k: round(v, 3) for k, v in latency.items()},
                 "outcome_digest": self.outcome_digest(),
@@ -219,6 +265,13 @@ class LoadgenReport:
             f"({self.client_failures} client-side)",
             f"outcome digest:    {self.outcome_digest()}",
         ]
+        if self.retried:
+            lines.insert(
+                -1,
+                f"retried:           {self.retried} "
+                f"({self.retry_attempts} extra attempts, "
+                f"{self.exhausted} exhausted)",
+            )
         distribution = self.worker_distribution()
         if distribution:
             spread = "  ".join(
@@ -354,10 +407,63 @@ async def _fire_one(
     success = bool(payload.get("success", False))
     path = tuple(payload.get("path", ()))
     satisfaction = float(payload.get("satisfaction", 0.0))
+    try:
+        retry_after_s = float(response.headers.get("retry-after", 0.0))
+    except (TypeError, ValueError):
+        retry_after_s = 0.0
     return RequestOutcome(
         index, response.status, outcome, success, path, satisfaction,
         latency_ms, worker=response.headers.get(WORKER_ID_HEADER, ""),
+        retry_after_s=max(0.0, retry_after_s),
     )
+
+
+def _retry_schedule(config: LoadgenConfig, index: int) -> List[float]:
+    """Jittered exponential backoff delays — a pure function of the seed.
+
+    Each request gets its own stream keyed ``(seed, index)``; attempt
+    ``k`` waits ``base * 2^k`` scaled by a jitter factor in [0.5, 1.5),
+    capped at ``retry_backoff_max_s``.
+    """
+    rng = random.Random(f"{config.seed}:retry:{index}")
+    return [
+        min(
+            config.retry_backoff_max_s,
+            config.retry_backoff_s * (2.0 ** attempt) * (0.5 + rng.random()),
+        )
+        for attempt in range(config.retries)
+    ]
+
+
+def _retryable(outcome: RequestOutcome) -> bool:
+    # Explicit backpressure (429) and transport failures are worth
+    # retrying; 503 (draining) and 504 (deadline already spent) are not.
+    return outcome.status == 429 or outcome.status == 0
+
+
+async def _fire_with_retries(
+    config: LoadgenConfig,
+    index: int,
+    body: bytes,
+    hint: str,
+    port: int,
+) -> RequestOutcome:
+    outcome = await _fire_one(config, index, body, hint, port)
+    if config.retries < 1:
+        return outcome
+    schedule = _retry_schedule(config, index)
+    attempts = 1
+    for delay in schedule:
+        if not _retryable(outcome):
+            break
+        # Honor the server's Retry-After when it is longer than the
+        # scheduled backoff, up to the configured cap.
+        await asyncio.sleep(
+            max(delay, min(outcome.retry_after_s, config.retry_backoff_max_s))
+        )
+        outcome = await _fire_one(config, index, body, hint, port)
+        attempts += 1
+    return replace(outcome, attempts=attempts)
 
 
 async def run_loadgen(
@@ -366,6 +472,12 @@ async def run_loadgen(
     """Fire one campaign and gather every outcome (never raises per-request)."""
     if config.requests < 1:
         raise ValidationError("loadgen needs requests >= 1")
+    if config.retries < 0:
+        raise ValidationError("retries must be >= 0")
+    if config.retries and (
+        config.retry_backoff_s <= 0 or config.retry_backoff_max_s <= 0
+    ):
+        raise ValidationError("retry backoff delays must be positive")
     bodies = _request_bodies(scenario, config)
     router: Optional[ShardRouter] = None
     worker_ports: Dict[int, int] = {}
@@ -389,7 +501,9 @@ async def run_loadgen(
         if delay > 0:
             await asyncio.sleep(delay)
         body, hint = bodies[index]
-        return await _fire_one(config, index, body, hint, target_port(hint))
+        return await _fire_with_retries(
+            config, index, body, hint, target_port(hint)
+        )
 
     outcomes = await asyncio.gather(
         *(timed_fire(i) for i in range(config.requests))

@@ -56,6 +56,11 @@ class GatewayMetrics:
         "connections",       # connections accepted
         "shard_hits",        # hinted requests that landed on their shard owner
         "shard_misses",      # hinted requests that landed elsewhere (cold cache)
+        "reports",           # outcome samples accepted into breakers
+        "degraded",          # 200: degraded-mode passthrough answers
+        "breaker_opens",     # local breaker transitions into OPEN
+        "breaker_closes",    # local breaker transitions into CLOSED
+        "quarantine_rebuilds",  # quarantine-set changes that flushed plans
     )
 
     def __init__(self) -> None:

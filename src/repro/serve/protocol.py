@@ -30,8 +30,10 @@ from repro.runtime.session import SessionPlan
 
 __all__ = [
     "PlanRequestEnvelope",
+    "decode_outcome_report",
     "decode_plan_request",
     "decode_reload_scenario",
+    "degraded_response_payload",
     "plan_response_payload",
     "error_payload",
     "encode_payload",
@@ -170,6 +172,80 @@ def decode_reload_scenario(body: bytes):
     )
 
 
+def decode_outcome_report(body: bytes) -> "tuple[str, list]":
+    """Parse one ``POST /report`` body into ``(client, outcome samples)``.
+
+    The wire shape is ``{"client": str, "outcomes": [{"service": str,
+    "success": bool}, ...]}``; duplicate services are legal (each entry
+    is one sample).  Strict like every other decoder here: anything
+    malformed raises :class:`~repro.errors.ValidationError` -> 400.
+    """
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"report body is not valid JSON: {exc}") from None
+    if not isinstance(data, Mapping):
+        raise ValidationError("report body must be a JSON object")
+    client = data.get("client", "anonymous")
+    if not isinstance(client, str) or not client:
+        raise ValidationError("'client' must be a non-empty string")
+    outcomes = data.get("outcomes")
+    if not isinstance(outcomes, list) or not outcomes:
+        raise ValidationError("'outcomes' must be a non-empty array")
+    samples = []
+    for index, entry in enumerate(outcomes):
+        if not isinstance(entry, Mapping):
+            raise ValidationError(
+                f"outcomes[{index}] must be an object, "
+                f"got {type(entry).__name__}"
+            )
+        service = entry.get("service")
+        if not isinstance(service, str) or not service:
+            raise ValidationError(
+                f"outcomes[{index}].service must be a non-empty string"
+            )
+        success = entry.get("success")
+        if not isinstance(success, bool):
+            raise ValidationError(
+                f"outcomes[{index}].success must be a boolean"
+            )
+        samples.append((service, success))
+    return client, samples
+
+
+def degraded_response_payload(
+    *,
+    reason: str,
+    generation: int,
+    queue_ms: float,
+    plan_ms: float,
+    quarantined: "list[str]",
+) -> Dict[str, Any]:
+    """The 200 body for a degraded-mode (zero-hop passthrough) answer.
+
+    The source variant ships unadapted: the path carries only the
+    endpoints, no formats, zero declared satisfaction.  ``success`` is
+    true — the client gets *something* within its deadline — and
+    ``degraded`` marks the quality downgrade explicitly.
+    """
+    return {
+        "status": "degraded",
+        "success": True,
+        "degraded": True,
+        "path": ["sender", "receiver"],
+        "formats": [],
+        "satisfaction": 0.0,
+        "cost": 0.0,
+        "delivered_frame_rate": None,
+        "reason": reason,
+        "quarantined": quarantined,
+        "generation": generation,
+        "cache_hit": False,
+        "queue_ms": round(queue_ms, 3),
+        "plan_ms": round(plan_ms, 3),
+    }
+
+
 def plan_response_payload(
     plan: SessionPlan,
     *,
@@ -183,6 +259,7 @@ def plan_response_payload(
     payload: Dict[str, Any] = {
         "status": "ok" if plan.success else "infeasible",
         "success": plan.success,
+        "degraded": False,
         "generation": generation,
         "cache_hit": cache_hit,
         "queue_ms": round(queue_ms, 3),

@@ -13,6 +13,7 @@ from repro.sim.engine import Simulator
 from repro.sim.faults import (
     FaultInjector,
     FlashCrowd,
+    GrayFailure,
     LinkDegradation,
     RegionalOutage,
     ServiceCrash,
@@ -30,6 +31,7 @@ __all__ = [
     "Simulator",
     "FaultInjector",
     "FlashCrowd",
+    "GrayFailure",
     "LinkDegradation",
     "RegionalOutage",
     "ServiceCrash",

@@ -17,7 +17,11 @@ The taxonomy:
   region failure, the *correlated* case admission control cannot see
   coming);
 - :class:`FlashCrowd` — a burst of extra session arrivals compressed into
-  a short window (the thundering herd).
+  a short window (the thundering herd);
+- :class:`GrayFailure` — one service silently drops a fraction of its
+  attempts without ever reading as down: the planner's liveness filter
+  stays green, and only outcome monitoring (a health registry's failure
+  detector) can surface and quarantine it.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ __all__ = [
     "ServiceCrash",
     "RegionalOutage",
     "FlashCrowd",
+    "GrayFailure",
 ]
 
 
@@ -160,6 +165,54 @@ class RegionalOutage(FaultInjector):
 
         sim.schedule_at(self.start_s, fail, kind="fault")
         sim.schedule_at(self.start_s + self.duration_s, restore, kind="fault")
+
+
+class GrayFailure(FaultInjector):
+    """One service silently fails ``failure_rate`` of its attempts.
+
+    Unlike :class:`ServiceCrash`, the fault never touches the world's
+    fault generation: plans keep routing through the sick service, and
+    only per-attempt outcomes (fed to an attached health registry) carry
+    the signal.  The interesting measurements are time-to-detect, the
+    satisfaction delivered while the breaker converges, and recovery
+    once HALF_OPEN probes start succeeding after the window closes.
+    """
+
+    def __init__(
+        self,
+        service_id: str,
+        start_s: float,
+        duration_s: float,
+        failure_rate: float = 0.8,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValidationError("fault duration must be positive")
+        if not 0.0 < failure_rate <= 1.0:
+            raise ValidationError("failure rate must lie in (0, 1]")
+        self.service_id = service_id
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.failure_rate = failure_rate
+
+    def install(self, run) -> None:
+        world, sim = run.world, run.sim
+
+        def start() -> None:
+            world.set_gray_failure(self.service_id, self.failure_rate)
+            sim.record(
+                "fault",
+                f"service {self.service_id} graying: drops "
+                f"{self.failure_rate:.0%} of attempts",
+            )
+
+        def stop() -> None:
+            world.clear_gray_failure(self.service_id)
+            sim.record(
+                "fault", f"service {self.service_id} gray failure cleared"
+            )
+
+        sim.schedule_at(self.start_s, start, kind="fault")
+        sim.schedule_at(self.start_s + self.duration_s, stop, kind="fault")
 
 
 class FlashCrowd(FaultInjector):

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["SessionOutcome", "SimReport", "percentile"]
 
@@ -74,6 +74,9 @@ class SimReport:
     trace_dropped: int
     trace_digest: str
     outcomes: Tuple[SessionOutcome, ...]
+    #: Health-registry summary (breaker states, transitions, trace digest)
+    #: when the run monitored service health; ``None`` otherwise.
+    health: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Fleet-level views
@@ -194,6 +197,8 @@ class SimReport:
             "trace_digest": self.trace_digest,
             "fleet": self.fleet_metrics(),
         }
+        if self.health is not None:
+            payload["health"] = self.health
         if include_sessions:
             payload["sessions"] = [asdict(o) for o in self.outcomes]
         return payload
@@ -255,6 +260,13 @@ class SimReport:
             f"({self.total_failed_replans} failed)",
             f"trace digest:      {self.trace_digest}",
         ]
+        if self.health is not None:
+            lines.insert(
+                len(lines) - 1,
+                f"breakers:          {self.health.get('tracked', 0)} tracked, "
+                f"{len(self.health.get('open', []))} open, "
+                f"{len(self.health.get('transitions', []))} transitions",
+            )
         return "\n".join(lines)
 
 

@@ -26,6 +26,7 @@ from repro.sim.faults import FaultInjector
 from repro.sim.report import SessionOutcome, SimReport, outcomes_sorted
 from repro.sim.session import SimSession
 from repro.sim.world import SimWorld
+from repro.serve.health import HealthConfig, HealthRegistry
 from repro.workloads.scenario import Scenario
 
 __all__ = ["SimulationConfig", "SimulationRun", "run_simulation"]
@@ -56,6 +57,10 @@ class SimulationConfig:
     abandon_after_stalls: int = 3
     admission_floor: float = 0.0
     faults: Tuple[FaultInjector, ...] = ()
+    #: Attach a per-service failure detector + circuit breaker registry;
+    #: quarantined (OPEN) services drop out of the snapshot planner's
+    #: catalog until HALF_OPEN probes recover them.
+    health: Optional[HealthConfig] = None
     #: Hard virtual-time stop; ``None`` runs until the event heap drains.
     horizon_s: Optional[float] = None
     #: Ring-buffer bound for the trace (None = unbounded).
@@ -81,7 +86,12 @@ class SimulationRun:
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
         self.sim = Simulator(trace_capacity=config.trace_capacity)
-        self.world = SimWorld(config.scenario)
+        self.world = SimWorld(config.scenario, seed=config.seed)
+        self.world.bind_clock(lambda: self.sim.now)
+        self.health: Optional[HealthRegistry] = None
+        if config.health is not None:
+            self.health = HealthRegistry(config.health)
+            self.world.attach_health(self.health)
         self.outcomes: List[SessionOutcome] = []
         self._sessions: List[SimSession] = []
         self._session_ids = itertools.count(1)
@@ -166,6 +176,7 @@ class SimulationRun:
             trace_dropped=self.sim.trace.dropped,
             trace_digest=self.sim.trace_digest(),
             outcomes=outcomes_sorted(self.outcomes),
+            health=self.health.summary() if self.health is not None else None,
         )
 
 

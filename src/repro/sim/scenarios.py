@@ -12,7 +12,11 @@ any seed yields a coherent campaign:
 - ``failover-storm`` — the backbone adaptation services crash in a
   staggered wave while the main route degrades, forcing mass replanning;
 - ``link-churn`` — the links of the primary route ramp down and recover
-  on overlapping windows, so capacity keeps shifting under live sessions.
+  on overlapping windows, so capacity keeps shifting under live sessions;
+- ``gray-failure`` — one backbone service silently drops 80% of its
+  attempts while reading as healthy; a per-service failure detector and
+  circuit breaker (see ``docs/RESILIENCE.md``) must notice from outcomes
+  alone, quarantine it, and recover it once HALF_OPEN probes succeed.
 
 ``build_scenario(name, ...)`` is the CLI entry point; ``SCENARIOS`` maps
 names to builders.
@@ -24,9 +28,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.sim.arrivals import PoissonArrivals, UniformArrivals
+from repro.serve.health import HealthConfig
 from repro.sim.faults import (
     FaultInjector,
     FlashCrowd,
+    GrayFailure,
     LinkDegradation,
     RegionalOutage,
     ServiceCrash,
@@ -179,11 +185,61 @@ def _link_churn(seed: int, sessions: int, faults: bool) -> SimulationConfig:
     )
 
 
+def _gray_target(scenario: Scenario) -> str:
+    """The service a gray failure hits: the baseline chain's first hop.
+
+    Picking a service on the scenario's own best path guarantees the
+    fault sits in the blast radius of real sessions; a scenario whose
+    best chain is a direct passthrough falls back to the first backbone
+    service.
+    """
+    result = scenario.select(record_trace=False)
+    intermediaries = [
+        sid for sid in result.path if sid not in ("sender", "receiver")
+    ]
+    if intermediaries:
+        return intermediaries[0]
+    backbone = _backbone_services(scenario)
+    if not backbone:  # pragma: no cover - generator always places some
+        raise ValidationError("scenario has no services to gray-fail")
+    return backbone[0]
+
+
+def _gray_failure(seed: int, sessions: int, faults: bool) -> SimulationConfig:
+    scenario = _base(seed)
+    schedule: Tuple[FaultInjector, ...] = (
+        (
+            GrayFailure(
+                service_id=_gray_target(scenario),
+                start_s=12.0,
+                duration_s=24.0,
+                failure_rate=0.8,
+            ),
+        )
+        if faults
+        else ()
+    )
+    return SimulationConfig(
+        scenario=scenario,
+        name="gray-failure",
+        seed=seed,
+        sessions=sessions,
+        arrivals=UniformArrivals(over_s=55.0),
+        session_duration_s=30.0,
+        faults=schedule,
+        # Detector tuned for segment-granularity outcomes: a handful of
+        # bad segments opens the breaker, and the 6s cooldown lets
+        # HALF_OPEN probes retry within the fault window's tail.
+        health=HealthConfig(seed=seed, cooldown_s=6.0, min_samples=4),
+    )
+
+
 SCENARIOS: Dict[str, ScenarioBuilder] = {
     "steady": _steady,
     "flash-crowd": _flash_crowd,
     "failover-storm": _failover_storm,
     "link-churn": _link_churn,
+    "gray-failure": _gray_failure,
 }
 
 

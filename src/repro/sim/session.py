@@ -150,7 +150,16 @@ class SimSession:
 
         if self._leases:
             fraction = self._delivery_fraction()
-            observed = self._observe(fraction)
+            # Gray-failure roll is gated on monitoring so runs without a
+            # gray overlay or health registry keep bit-identical traces.
+            gray_failed = (
+                self._world.attempt_chain(self._services)
+                if self._world.monitoring
+                else None
+            )
+            observed = (
+                0.0 if gray_failed is not None else self._observe(fraction)
+            )
             self._integrate(observed, interval)
             floor = self._replan_threshold * self._current_planned_sat
             if fraction <= 0.0:
@@ -163,6 +172,13 @@ class SimSession:
                 self._world.release(self._leases)
                 self._leases = []
                 self._try_acquire()
+            elif gray_failed is not None:
+                self._sim.record(
+                    "gray-loss",
+                    f"session {self.session_id}: {gray_failed} "
+                    "dropped the segment",
+                )
+                self._try_switch(0.0)
             elif observed + 1e-12 < floor:
                 self._sim.record(
                     "degraded",

@@ -25,8 +25,9 @@ any fault or reservation invalidates it.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.optimizer import OptimizeMemo
 from repro.core.parameters import FRAME_RATE
@@ -37,6 +38,7 @@ from repro.network.topology import Link, NetworkTopology
 from repro.planner.batch import BatchPlanner, PlanRequest
 from repro.planner.cache import PlanCache
 from repro.runtime.session import SessionPlan
+from repro.serve.health import HealthRegistry
 from repro.services.catalog import ServiceCatalog
 from repro.workloads.scenario import Scenario
 
@@ -72,6 +74,7 @@ class SimWorld:
         scenario: Scenario,
         optimize_memo: Optional[OptimizeMemo] = None,
         plan_cache_size: int = 256,
+        seed: int = 0,
     ) -> None:
         self.scenario = scenario
         self.ledger = BandwidthLedger(scenario.topology)
@@ -82,7 +85,14 @@ class SimWorld:
         self._plan_cache_size = plan_cache_size
         self._generation = 0
         self._planner: Optional[BatchPlanner] = None
-        self._planner_key: Optional[Tuple[int, int]] = None
+        self._planner_key: Optional[Tuple[int, int, int, frozenset]] = None
+        # Gray-failure overlay: services that silently drop a fraction of
+        # attempts without touching the fault generation — only a health
+        # registry (if attached) can learn about them through outcomes.
+        self._gray_rng = random.Random(f"{seed}:gray")
+        self._gray_rates: Dict[str, float] = {}
+        self._health: Optional[HealthRegistry] = None
+        self._clock: Callable[[], float] = lambda: 0.0
 
     @property
     def optimize_memo(self) -> OptimizeMemo:
@@ -141,6 +151,65 @@ class SimWorld:
             placement.is_placed(service_id)
             and placement.node_of(service_id) in self._down_nodes
         )
+
+    # ------------------------------------------------------------------
+    # Gray failures + health monitoring
+    # ------------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Use ``clock`` (virtual time) for health-registry timestamps."""
+        self._clock = clock
+
+    def attach_health(self, registry: HealthRegistry) -> None:
+        """Route per-attempt outcomes into ``registry``'s breakers."""
+        self._health = registry
+
+    @property
+    def health(self) -> Optional[HealthRegistry]:
+        return self._health
+
+    @property
+    def monitoring(self) -> bool:
+        """Is per-attempt outcome accounting active this run?"""
+        return bool(self._gray_rates) or self._health is not None
+
+    def set_gray_failure(self, service_id: str, rate: float) -> None:
+        """Make ``service_id`` silently fail ``rate`` of its attempts.
+
+        Deliberately does *not* bump the fault generation: a gray failure
+        is invisible to the planner's liveness filter — only outcome
+        reports (and the breaker they feed) can surface it.
+        """
+        self.scenario.catalog.get(service_id)
+        if not 0.0 < rate <= 1.0:
+            raise ValidationError("gray failure rate must be in (0, 1]")
+        self._gray_rates[service_id] = rate
+
+    def clear_gray_failure(self, service_id: str) -> None:
+        self._gray_rates.pop(service_id, None)
+
+    def gray_rate(self, service_id: str) -> float:
+        return self._gray_rates.get(service_id, 0.0)
+
+    def attempt_chain(self, services: Sequence[str]) -> Optional[str]:
+        """Roll one delivery attempt across ``services``.
+
+        Every service on the chain rolls against its gray-failure rate
+        (endpoints never fail), and every outcome is reported to the
+        attached health registry at the current virtual time.  Returns
+        the first service that failed, or ``None`` on a clean pass.
+        """
+        now = self._clock()
+        failed: Optional[str] = None
+        for service_id in services:
+            if service_id in _ENDPOINT_IDS:
+                continue
+            rate = self._gray_rates.get(service_id, 0.0)
+            ok = rate <= 0.0 or self._gray_rng.random() >= rate
+            if self._health is not None:
+                self._health.report(service_id, ok, now)
+            if not ok and failed is None:
+                failed = service_id
+        return failed
 
     # ------------------------------------------------------------------
     # Effective capacity queries
@@ -213,7 +282,17 @@ class SimWorld:
         counters of the snapshot objects, which restart per snapshot, so a
         cache must never outlive its snapshot).
         """
-        key = (self._generation, self.ledger.generation)
+        quarantined: frozenset = frozenset()
+        health_generation = 0
+        if self._health is not None:
+            quarantined = self._health.quarantined(self._clock())
+            health_generation = self._health.generation
+        key = (
+            self._generation,
+            self.ledger.generation,
+            health_generation,
+            quarantined,
+        )
         if self._planner is not None and self._planner_key == key:
             return self._planner
         topology = self.effective_topology()
@@ -221,6 +300,7 @@ class SimWorld:
             descriptor
             for descriptor in self.scenario.catalog
             if not self.service_is_down(descriptor.service_id)
+            and descriptor.service_id not in quarantined
         ]
         catalog = ServiceCatalog(alive)
         mapping = {

@@ -22,6 +22,7 @@ from repro.serve import (
     ClusterConfig,
     ClusterSupervisor,
     GatewayConfig,
+    HealthConfig,
     LoadgenConfig,
     run_loadgen,
 )
@@ -406,3 +407,133 @@ class TestShardAffinity:
             assert counters["shard_hits"] + counters["shard_misses"] == 1
 
         run_with_cluster(scenario)
+
+
+class TestHealthPropagation:
+    HEALTH = HealthConfig(min_samples=3, cooldown_s=300.0, seed=1)
+
+    async def _poll_open(self, port, victim, path="/health"):
+        document = {}
+        deadline = asyncio.get_running_loop().time() + 15.0
+        while asyncio.get_running_loop().time() < deadline:
+            _, document, _ = await request(port, "GET", path)
+            if victim in document.get("open", []):
+                return document
+            await asyncio.sleep(0.05)
+        raise AssertionError(f"{victim} never opened at port {port}")
+
+    def test_one_worker_report_converges_cluster_wide(self):
+        async def scenario(supervisor):
+            entries = await worker_entries(supervisor)
+            victim = "S1"
+            status, payload, _ = await request(
+                entries[0]["private_port"], "POST", "/report",
+                {"client": "t",
+                 "outcomes": [{"service": victim, "success": False}] * 8},
+            )
+            assert status == 200
+            assert payload["open"] == [victim]
+            # The parent's merged view converges over the control pipe...
+            parent = await self._poll_open(supervisor.admin_port, victim)
+            assert parent["open"] == [victim]
+            assert parent["services"][victim]["state"] == "open"
+            assert parent["services"][victim]["worker_id"] == 0
+            # ...and the relay reaches the worker that never saw a
+            # failure, which now plans around the quarantined service.
+            peer = await self._poll_open(entries[1]["private_port"], victim)
+            assert peer["services"][victim]["state"] == "open"
+            status, plan, _ = await request(
+                entries[1]["private_port"], "POST", "/plan", {}
+            )
+            assert status == 200
+            assert plan["status"] in ("ok", "degraded")
+            assert victim not in plan["path"]
+            # Every tracked breaker is OPEN, so the parent tells load
+            # balancers to route around the whole cluster.
+            status, ready, _ = await request(
+                supervisor.admin_port, "GET", "/readyz"
+            )
+            assert status == 503
+            assert ready["status"] == "degraded"
+
+        run_with_cluster(scenario, health=self.HEALTH)
+
+    def test_restarted_worker_receives_replayed_quarantine(self):
+        async def scenario(supervisor):
+            entries = await worker_entries(supervisor)
+            victim = "S2"
+            await request(
+                entries[0]["private_port"], "POST", "/report",
+                {"client": "t",
+                 "outcomes": [{"service": victim, "success": False}] * 8},
+            )
+            await self._poll_open(supervisor.admin_port, victim)
+            old_pid = entries[1]["pid"]
+            os.kill(old_pid, signal.SIGKILL)
+            deadline = asyncio.get_running_loop().time() + 15.0
+            while asyncio.get_running_loop().time() < deadline:
+                await asyncio.sleep(0.05)
+                entries = await worker_entries(supervisor)
+                replacement = entries[1]
+                if (
+                    replacement["alive"]
+                    and replacement["ready"]
+                    and replacement["pid"] != old_pid
+                ):
+                    break
+            else:
+                raise AssertionError("worker 1 never came back")
+            # The replacement booted with empty breakers; the replay on
+            # "ready" must hand it the cluster's quarantine view.
+            replayed = await self._poll_open(
+                replacement["private_port"], victim
+            )
+            assert replayed["services"][victim]["state"] == "open"
+
+        run_with_cluster(scenario, health=self.HEALTH)
+
+
+class TestReloadTimeout:
+    def test_sigstopped_worker_times_out_instead_of_stalling(self):
+        async def scenario(supervisor):
+            entries = await worker_entries(supervisor)
+            victim_pid = entries[0]["pid"]
+            body = {"synthetic": {"seed": 9, "n_services": 8,
+                                  "n_formats": 5, "n_nodes": 5}}
+            os.kill(victim_pid, signal.SIGSTOP)
+            reload_task = asyncio.create_task(
+                request(supervisor.admin_port, "POST", "/admin/reload",
+                        body)
+            )
+            # While the fan-out hangs on the stopped worker, the parent
+            # stays responsive and reports itself not-ready.
+            await asyncio.sleep(0.3)
+            ready_status, ready, _ = await request(
+                supervisor.admin_port, "GET", "/readyz"
+            )
+            status, summary, _ = await reload_task
+            assert ready_status == 503
+            assert ready["status"] == "reloading"
+            assert status == 500
+            assert summary["status"] == "partial"
+            by_worker = {
+                entry["worker_id"]: entry for entry in summary["workers"]
+            }
+            assert by_worker[0]["status"] == "timeout"
+            assert "no acknowledgement" in by_worker[0]["detail"]
+            assert by_worker[1]["status"] == "ok"
+            # After the partial reload the fan-out window is closed
+            # again; the healthy worker serves the new generation.
+            status, plan, _ = await request(
+                entries[1]["private_port"], "POST", "/plan", {}
+            )
+            assert status == 200
+            assert plan["generation"] == 2
+            # The victim stays SIGSTOPped: drain (in the harness
+            # ``finally``) must still complete via SIGKILL escalation.
+
+        run_with_cluster(
+            scenario,
+            cluster_overrides=dict(reload_timeout_s=1.0, drain_margin_s=0.3),
+            drain_grace_s=0.2,
+        )

@@ -306,5 +306,6 @@ class TestConfigValidation:
 
     def test_scenario_registry(self):
         assert scenario_names() == sorted(
-            ["steady", "flash-crowd", "failover-storm", "link-churn"]
+            ["steady", "flash-crowd", "failover-storm", "link-churn",
+             "gray-failure"]
         )
