@@ -8,6 +8,7 @@ A small operational surface over the library::
     python -m repro.cli analyze figure6        # graph analytics
     python -m repro.cli catalog --seed 7       # dump a catalog as WSDL XML
     python -m repro.cli plan-batch --sessions 1000 --distinct 32 --compare
+    python -m repro.cli plan-group --sessions 1000 --classes 32 --compare
     python -m repro.cli simulate --scenario failover-storm --seed 3
     python -m repro.cli serve --port 8077 --seed 7
     python -m repro.cli serve --port 8077 --workers 4   # process cluster
@@ -220,6 +221,102 @@ def cmd_plan_batch(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_plan_group(args: argparse.Namespace, out) -> int:
+    """Plan one shared adaptation tree for a synthetic receiver-class set."""
+    from repro.group import GroupPlanner, GroupReceiver, GroupRequest
+    from repro.planner import device_variants
+
+    scenario = generate_scenario(
+        SyntheticConfig(
+            seed=args.seed,
+            n_services=args.services,
+            n_formats=args.formats,
+            n_nodes=args.nodes,
+        )
+    )
+    if args.sessions < args.classes:
+        print("error: --sessions must be >= --classes", file=out)
+        return 2
+    variants = device_variants(scenario.device, args.classes)
+    base, extra = divmod(args.sessions, args.classes)
+    receivers = tuple(
+        GroupReceiver(
+            class_id=f"class-{index}",
+            device=device,
+            sessions=base + (1 if index < extra else 0),
+        )
+        for index, device in enumerate(variants)
+    )
+    request = GroupRequest(
+        content=scenario.content,
+        user=scenario.user,
+        sender_node=scenario.sender_node,
+        receiver_node=scenario.receiver_node,
+        receivers=receivers,
+        context=scenario.context,
+    )
+    planner = GroupPlanner.for_scenario(scenario)
+
+    started = time.perf_counter()
+    plan = planner.plan(request)
+    elapsed = time.perf_counter() - started
+
+    tree = plan.tree
+    print(f"scenario: {scenario.name} "
+          f"({args.sessions} sessions, {args.classes} receiver classes)",
+          file=out)
+    print(f"tree:              {len(tree.edges)} edges, "
+          f"{tree.branch_count} leaves, "
+          f"{tree.shared_edge_count} shared edges", file=out)
+    print(f"branches:          {len(tree.branches)} planned, "
+          f"{len(tree.fallbacks)} fallback", file=out)
+    print(f"tree bandwidth:    {tree.tree_bandwidth_bps() / 1e6:.2f} Mbps",
+          file=out)
+    print(f"per-session:       "
+          f"{tree.per_session_bandwidth_bps() / 1e6:.2f} Mbps", file=out)
+    print(f"saved:             {tree.saved_bandwidth_bps() / 1e6:.2f} Mbps",
+          file=out)
+    print(f"optimize calls:    {plan.optimize_calls()}", file=out)
+    print(f"elapsed:           {elapsed * 1000:.1f} ms", file=out)
+    print(f"digest:            {tree.digest()}", file=out)
+    if args.compare:
+        from repro.planner import BatchPlanner, PlanRequest
+
+        baseline = BatchPlanner.for_scenario(scenario)
+        started = time.perf_counter()
+        baseline_bps = 0.0
+        baseline_calls = 0
+        for receiver in receivers:
+            for _ in range(receiver.sessions):
+                session = baseline.plan_uncached(
+                    PlanRequest(
+                        content=request.content,
+                        device=receiver.device,
+                        user=request.user,
+                        sender_node=request.sender_node,
+                        receiver_node=request.receiver_node,
+                        context=request.context,
+                    )
+                )
+                result = session.result
+                if result.success and result.stats is not None:
+                    baseline_calls += result.stats.optimize_calls
+                    baseline_bps += sum(
+                        result.configuration.required_bandwidth(
+                            baseline.registry.get(fmt)
+                        )
+                        for fmt in result.formats
+                    )
+        uncached = time.perf_counter() - started
+        print(file=out)
+        print(f"per-session baseline: {uncached * 1000:.1f} ms, "
+              f"{baseline_calls} optimize calls, "
+              f"{baseline_bps / 1e6:.2f} Mbps reserved", file=out)
+        speedup = uncached / elapsed if elapsed > 0 else float("inf")
+        print(f"speedup:           {speedup:.1f}x", file=out)
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace, out) -> int:
     from repro.sim import build_scenario, run_simulation
 
@@ -397,6 +494,7 @@ def cmd_loadgen(args: argparse.Namespace, out) -> int:
         admin_port=args.admin_port,
         retries=args.retries,
         retry_backoff_s=args.retry_backoff,
+        group_size=args.group_size,
     )
     try:
         report = asyncio.run(run_loadgen(scenario, config))
@@ -517,6 +615,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time the uncached baseline and print the speedup",
     )
 
+    plan_group = commands.add_parser(
+        "plan-group",
+        help="plan one shared adaptation tree for a receiver-class set",
+    )
+    plan_group.add_argument("--seed", type=int, default=7)
+    plan_group.add_argument("--services", type=int, default=12)
+    plan_group.add_argument("--formats", type=int, default=8)
+    plan_group.add_argument("--nodes", type=int, default=8)
+    plan_group.add_argument(
+        "--sessions", type=int, default=200,
+        help="live sessions spread across the classes",
+    )
+    plan_group.add_argument(
+        "--classes", type=int, default=16,
+        help="distinct receiver device classes in the group",
+    )
+    plan_group.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the per-session uncached baseline and print the "
+             "speedup and reserved-bandwidth comparison",
+    )
+
     simulate = commands.add_parser(
         "simulate",
         help="run a deterministic multi-session fault-injection simulation",
@@ -525,7 +646,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         default="steady",
         help="named campaign: steady, flash-crowd, failover-storm, "
-             "link-churn, gray-failure",
+             "link-churn, gray-failure, live-event",
     )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
@@ -645,6 +766,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--retry-backoff", type=float, default=0.05,
                          help="base retry delay in seconds (doubles per "
                               "attempt; default 0.05)")
+    loadgen.add_argument("--group-size", type=int, default=0,
+                         help="batch this many device classes per request as "
+                              "one POST /plan-group receiver set (0 = "
+                              "classic per-session /plan stream)")
     loadgen.add_argument("--json", action="store_true",
                          help="print the full JSON report")
     loadgen.add_argument("--output", default=None, metavar="PATH",
@@ -672,6 +797,7 @@ _HANDLERS = {
     "solve": cmd_solve,
     "lint": cmd_lint,
     "plan-batch": cmd_plan_batch,
+    "plan-group": cmd_plan_group,
     "simulate": cmd_simulate,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,

@@ -1,0 +1,29 @@
+"""Shared adaptation trees for multicast delivery to receiver classes.
+
+``request`` defines the group request vocabulary (one content stream,
+many receiver classes), ``tree`` the prefix-sharing trie merge of
+per-class optimal chains, and ``planner`` the :class:`GroupPlanner` that
+plans, caches, and reserves whole trees.  See ``docs/ALGORITHM.md`` §9
+for the soundness argument and ``docs/SERVING.md`` for the
+``POST /plan-group`` wire surface.
+"""
+
+from repro.group.planner import GroupPlan, GroupPlanner
+from repro.group.request import GroupReceiver, GroupRequest
+from repro.group.tree import (
+    GroupBranch,
+    SharedAdaptationTree,
+    TreeEdge,
+    build_shared_tree,
+)
+
+__all__ = [
+    "GroupBranch",
+    "GroupPlan",
+    "GroupPlanner",
+    "GroupReceiver",
+    "GroupRequest",
+    "SharedAdaptationTree",
+    "TreeEdge",
+    "build_shared_tree",
+]

@@ -1,0 +1,82 @@
+"""Group planning requests: one content stream, many receiver classes.
+
+A :class:`GroupRequest` describes the multicast-style situation the
+per-session planner cannot exploit: *one* content item requested
+concurrently by a heterogeneous population that clusters into a handful
+of device classes.  Each :class:`GroupReceiver` names one class (a device
+profile plus how many live sessions belong to it); the group planner
+turns the whole request into a single shared adaptation tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.profiles.content import ContentProfile
+from repro.profiles.context import ContextProfile
+from repro.profiles.device import DeviceProfile
+from repro.profiles.user import UserProfile
+
+__all__ = ["GroupReceiver", "GroupRequest"]
+
+
+@dataclass(frozen=True)
+class GroupReceiver:
+    """One receiver class: a device profile standing for ``sessions`` clients."""
+
+    class_id: str
+    device: DeviceProfile
+    sessions: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.class_id:
+            raise ValidationError("receiver class_id must be non-empty")
+        if self.sessions < 1:
+            raise ValidationError(
+                f"receiver class {self.class_id!r} needs sessions >= 1, "
+                f"got {self.sessions}"
+            )
+
+
+@dataclass(frozen=True)
+class GroupRequest:
+    """Everything one shared-tree planning run consumes.
+
+    Duplicate receiver entries are rejected here as well as at the wire
+    boundary: two entries with the same ``class_id`` (or byte-identical
+    device profiles under different ids) would double-count sessions and
+    double-reserve the class's branch.
+    """
+
+    content: ContentProfile
+    user: UserProfile
+    sender_node: str
+    receiver_node: str
+    receivers: Tuple[GroupReceiver, ...] = field(default_factory=tuple)
+    context: Optional[ContextProfile] = None
+
+    def __post_init__(self) -> None:
+        if not self.receivers:
+            raise ValidationError("a group request needs at least one receiver")
+        seen_ids = set()
+        seen_devices = set()
+        for receiver in self.receivers:
+            if receiver.class_id in seen_ids:
+                raise ValidationError(
+                    f"duplicate receiver class_id {receiver.class_id!r}"
+                )
+            seen_ids.add(receiver.class_id)
+            device_key = receiver.device.cache_key()
+            if device_key in seen_devices:
+                raise ValidationError(
+                    f"receiver class {receiver.class_id!r} duplicates "
+                    f"another entry's device profile "
+                    f"({receiver.device.device_id!r})"
+                )
+            seen_devices.add(device_key)
+
+    @property
+    def total_sessions(self) -> int:
+        return sum(receiver.sessions for receiver in self.receivers)

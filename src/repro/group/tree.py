@@ -1,0 +1,240 @@
+"""Shared adaptation trees: merge per-class optimal chains by prefix.
+
+The paper plans one adaptation *chain* per receiver.  When many receiver
+classes request the same content, their optimal chains usually agree on a
+prefix — the same source variant flowing through the same services in the
+same formats — and only diverge where per-class constraints start to
+bite.  A :class:`SharedAdaptationTree` is exactly that trie: each edge is
+one hop of one or more class chains, annotated with the classes sharing
+it, so shared-link bandwidth can be reserved **once per tree edge**
+instead of once per session.
+
+Prefix-sharing soundness (the condition :func:`build_shared_tree`
+enforces, argued in ``docs/ALGORITHM.md`` §9): two classes may share a
+hop only if their chains are *byte-identical up to and including that
+hop* — same service sequence, same format sequence, and the same
+delivered configuration.  Under that condition the intermediate stream on
+the shared hop is one stream, so a single reservation carries every
+sharing class, and each class's branch remains literally its standalone
+optimal chain — per-class satisfaction is unchanged by construction.
+Classes whose chains cannot merge simply do not share (a degenerate tree
+is per-session planning); classes that are infeasible standalone are
+reported as fallbacks, never silently degraded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.selection import SelectionResult
+from repro.errors import ValidationError
+from repro.formats.registry import FormatRegistry
+
+__all__ = [
+    "TreeEdge",
+    "GroupBranch",
+    "SharedAdaptationTree",
+    "build_shared_tree",
+]
+
+#: One hop of a chain: (source service, target service, carried format).
+Hop = Tuple[str, str, str]
+
+
+def _chain_hops(result: SelectionResult) -> Tuple[Hop, ...]:
+    return tuple(zip(result.path, result.path[1:], result.formats))
+
+
+def _config_key(configuration: Configuration) -> Tuple[Tuple[str, float], ...]:
+    return tuple(sorted(configuration.as_dict().items()))
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """One hop of the shared tree and the classes whose streams ride it."""
+
+    source: str
+    target: str
+    format: str
+    configuration: Configuration
+    #: Bits/second one reservation on this edge must carry.
+    bandwidth_bps: float
+    #: Receiver classes sharing this edge (sorted, >= 1).
+    classes: Tuple[str, ...]
+    #: Hop index within the chain (0 = the hop leaving the sender).
+    depth: int
+
+    @property
+    def shared(self) -> bool:
+        return len(self.classes) > 1
+
+
+@dataclass(frozen=True)
+class GroupBranch:
+    """One receiver class's leaf: its standalone-optimal chain, verbatim."""
+
+    class_id: str
+    sessions: int
+    result: SelectionResult
+
+    @property
+    def satisfaction(self) -> float:
+        return self.result.satisfaction
+
+
+@dataclass(frozen=True)
+class SharedAdaptationTree:
+    """The merged trie over every feasible class chain.
+
+    ``edges`` is canonically ordered (configuration key, then hop prefix),
+    so same-seed builds are bit-identical and :meth:`digest` is a stable
+    identity for the whole tree.
+    """
+
+    edges: Tuple[TreeEdge, ...]
+    branches: Tuple[GroupBranch, ...]
+    #: Classes with no standalone-feasible chain: (class_id, reason) pairs.
+    #: These fall back to whatever per-session handling the caller applies.
+    fallbacks: Tuple[Tuple[str, str], ...] = ()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def branch_count(self) -> int:
+        """Distinct leaf chains (classes with identical plans collapse)."""
+        leaves = {
+            (_config_key(b.result.configuration), _chain_hops(b.result))
+            for b in self.branches
+        }
+        return len(leaves)
+
+    @property
+    def shared_edge_count(self) -> int:
+        return sum(1 for edge in self.edges if edge.shared)
+
+    def tree_bandwidth_bps(self) -> float:
+        """Aggregate demand with tree sharing: each edge reserved once."""
+        return sum(edge.bandwidth_bps for edge in self.edges)
+
+    def per_session_bandwidth_bps(self) -> float:
+        """Aggregate demand of the per-session baseline: every session of
+        every class reserves its whole chain independently."""
+        total = 0.0
+        for branch in self.branches:
+            chain_bps = sum(
+                edge.bandwidth_bps
+                for edge in self.edges
+                if branch.class_id in edge.classes
+            )
+            total += branch.sessions * chain_bps
+        return total
+
+    def saved_bandwidth_bps(self) -> float:
+        return max(
+            0.0, self.per_session_bandwidth_bps() - self.tree_bandwidth_bps()
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical tree content (no wall-clock, no ids)."""
+        key = (
+            tuple(
+                (
+                    edge.source,
+                    edge.target,
+                    edge.format,
+                    _config_key(edge.configuration),
+                    round(edge.bandwidth_bps, 6),
+                    edge.classes,
+                    edge.depth,
+                )
+                for edge in self.edges
+            ),
+            tuple(
+                (
+                    branch.class_id,
+                    branch.sessions,
+                    branch.result.path,
+                    branch.result.formats,
+                    round(branch.result.satisfaction, 9),
+                )
+                for branch in sorted(self.branches, key=lambda b: b.class_id)
+            ),
+            tuple(sorted(self.fallbacks)),
+        )
+        return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def build_shared_tree(
+    results: Mapping[str, SelectionResult],
+    sessions: Mapping[str, int],
+    registry: FormatRegistry,
+) -> SharedAdaptationTree:
+    """Merge per-class selection results into one shared tree.
+
+    ``results`` maps receiver class_id to that class's *standalone*
+    selection result (the heap selector's output, untouched); ``sessions``
+    maps class_id to its live session count.  Infeasible classes become
+    fallbacks.  The merge is a trie insert per chain: the trie key at
+    depth ``d`` is the full (configuration, hops[:d+1]) prefix, so classes
+    share an edge exactly when the prefix-sharing condition holds.
+    """
+    if not results:
+        raise ValidationError("cannot build a shared tree from zero classes")
+    branches: List[GroupBranch] = []
+    fallbacks: List[Tuple[str, str]] = []
+    # Trie: full prefix key -> sorted class ids sharing that edge.
+    sharers: Dict[Tuple, List[str]] = {}
+    edge_meta: Dict[Tuple, Tuple[str, str, str, Configuration, int]] = {}
+    for class_id in sorted(results):
+        result = results[class_id]
+        count = sessions.get(class_id, 1)
+        if not result.success:
+            fallbacks.append(
+                (class_id, result.failure_reason or "no feasible chain")
+            )
+            continue
+        if result.configuration is None:  # pragma: no cover - success implies
+            raise ValidationError(
+                f"class {class_id!r} succeeded without a configuration"
+            )
+        branches.append(
+            GroupBranch(class_id=class_id, sessions=count, result=result)
+        )
+        config_key = _config_key(result.configuration)
+        hops = _chain_hops(result)
+        for depth in range(len(hops)):
+            prefix = (config_key, hops[: depth + 1])
+            sharers.setdefault(prefix, []).append(class_id)
+            if prefix not in edge_meta:
+                source, target, fmt_name = hops[depth]
+                edge_meta[prefix] = (
+                    source,
+                    target,
+                    fmt_name,
+                    result.configuration,
+                    depth,
+                )
+    edges: List[TreeEdge] = []
+    for prefix in sorted(sharers, key=repr):
+        source, target, fmt_name, configuration, depth = edge_meta[prefix]
+        bandwidth = configuration.required_bandwidth(registry.get(fmt_name))
+        edges.append(
+            TreeEdge(
+                source=source,
+                target=target,
+                format=fmt_name,
+                configuration=configuration,
+                bandwidth_bps=bandwidth,
+                classes=tuple(sorted(sharers[prefix])),
+                depth=depth,
+            )
+        )
+    return SharedAdaptationTree(
+        edges=tuple(edges),
+        branches=tuple(branches),
+        fallbacks=tuple(sorted(fallbacks)),
+    )

@@ -26,11 +26,26 @@ from typing import Dict, List, Sequence, Tuple
 from repro.errors import ValidationError
 from repro.network.topology import Link, NetworkTopology
 
-__all__ = ["Reservation", "BandwidthLedger"]
+__all__ = ["EdgeDemand", "Reservation", "BandwidthLedger"]
 
 
 def _canonical(a: str, b: str) -> Tuple[str, str]:
     return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class EdgeDemand:
+    """One edge of a shared tree: a route and the bandwidth it carries.
+
+    The group planner hands a list of these to
+    :meth:`BandwidthLedger.reserve_group`; each demand is reserved *once*
+    regardless of how many receiver classes (or sessions) share the edge
+    — that single claim is the whole point of tree delivery.
+    """
+
+    route: Tuple[str, ...]
+    bandwidth_bps: float
+    label: str = ""
 
 
 @dataclass(frozen=True)
@@ -173,6 +188,41 @@ class BandwidthLedger:
             self._active[reservation.reservation_id] = reservation
             self._generation += 1
             return reservation
+
+    def reserve_group(
+        self,
+        demands: Sequence[EdgeDemand],
+        label: str = "",
+    ) -> List[Reservation]:
+        """Reserve every edge of a shared tree, all-or-nothing.
+
+        The shared-reservation mode behind group (multicast-style)
+        delivery: each :class:`EdgeDemand` is claimed exactly once, under
+        one lock acquisition, so a concurrent admission can never observe
+        a half-reserved tree.  If any edge lacks residual capacity, every
+        edge already claimed for this group is released before the
+        :class:`ValidationError` propagates — a failed group reservation
+        leaks nothing (property-tested in
+        ``tests/test_reservation_properties.py``).
+        """
+        if not demands:
+            raise ValidationError("a group reservation needs at least one edge")
+        taken: List[Reservation] = []
+        with self._lock:
+            try:
+                for index, demand in enumerate(demands):
+                    taken.append(
+                        self.reserve(
+                            demand.route,
+                            demand.bandwidth_bps,
+                            label=demand.label or f"{label}#{index}",
+                        )
+                    )
+            except ValidationError:
+                for reservation in taken:
+                    self.release(reservation)
+                raise
+        return taken
 
     def release(self, reservation: Reservation) -> None:
         """Return a reservation's bandwidth to the links."""

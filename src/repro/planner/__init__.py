@@ -16,6 +16,7 @@ from repro.core.optimizer import OptimizeMemo, OptimizeMemoStats
 from repro.planner.fingerprint import (
     GenerationStamp,
     PlanFingerprint,
+    combine_fingerprints,
     fingerprint_request,
 )
 from repro.planner.cache import CacheStats, PlanCache
@@ -25,6 +26,7 @@ from repro.planner.workload import device_variants, synthetic_requests
 __all__ = [
     "GenerationStamp",
     "PlanFingerprint",
+    "combine_fingerprints",
     "fingerprint_request",
     "CacheStats",
     "PlanCache",

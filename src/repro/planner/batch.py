@@ -119,6 +119,20 @@ class BatchPlanner:
         return self._cache
 
     @property
+    def registry(self) -> FormatRegistry:
+        """The format registry plans resolve against (group planner needs it)."""
+        return self._registry
+
+    @property
+    def placement(self) -> ServicePlacement:
+        """The service placement (group reservation maps services to nodes)."""
+        return self._placement
+
+    @property
+    def ledger(self) -> Optional[BandwidthLedger]:
+        return self._ledger
+
+    @property
     def optimize_memo(self) -> OptimizeMemo:
         """The shared optimize() memo (stats feed :class:`PlannerReport`)."""
         return self._optimize_memo

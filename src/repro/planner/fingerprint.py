@@ -41,7 +41,12 @@ from repro.profiles.device import DeviceProfile
 from repro.profiles.user import UserProfile
 from repro.services.catalog import ServiceCatalog
 
-__all__ = ["GenerationStamp", "PlanFingerprint", "fingerprint_request"]
+__all__ = [
+    "GenerationStamp",
+    "PlanFingerprint",
+    "combine_fingerprints",
+    "fingerprint_request",
+]
 
 
 @dataclass(frozen=True)
@@ -175,4 +180,23 @@ def fingerprint_request(
         stamp,
     )
     digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return PlanFingerprint(digest=digest, generations=stamp)
+
+
+def combine_fingerprints(
+    parts: Tuple[Tuple, ...],
+    stamp: GenerationStamp,
+) -> PlanFingerprint:
+    """One fingerprint over many — the group-plan (shared-tree) cache key.
+
+    ``parts`` is a tuple of canonical sub-keys, typically
+    ``(class_id, sessions, per_class_digest)`` triples in a fixed order.
+    Every member digest already embeds the infrastructure generations, so
+    the combined key inherits the same staleness guarantee: any catalog /
+    topology / placement / reservation change alters every member and
+    therefore the combination.  The stamp rides along unchanged so
+    :meth:`~repro.planner.cache.PlanCache.purge_stale` works on group
+    entries exactly as it does on per-session ones.
+    """
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
     return PlanFingerprint(digest=digest, generations=stamp)

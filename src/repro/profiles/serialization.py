@@ -45,6 +45,8 @@ __all__ = [
     "descriptor_from_dict",
     "profile_to_dict",
     "profile_from_dict",
+    "group_receiver_to_dict",
+    "group_receivers_from_list",
 ]
 
 
@@ -447,6 +449,85 @@ def _intermediary_from_dict(data: Mapping[str, Any]) -> IntermediaryProfile:
         available_memory_mb=data.get("available_memory_mb", 1024.0),
         operator=data.get("operator", ""),
     )
+
+
+# ----------------------------------------------------------------------
+# Group requests (receiver-class lists for POST /plan-group)
+# ----------------------------------------------------------------------
+
+def group_receiver_to_dict(receiver: Any) -> Dict[str, Any]:
+    """Serialize one :class:`~repro.group.request.GroupReceiver`."""
+    return {
+        "class_id": receiver.class_id,
+        "device": _device_to_dict(receiver.device),
+        "sessions": receiver.sessions,
+    }
+
+
+def group_receivers_from_list(value: Any) -> tuple:
+    """Decode a wire ``receivers`` array into ``GroupReceiver`` objects.
+
+    Strict like every decoder here: mistyped entries, missing fields, and
+    — critically — *duplicate* receivers raise :class:`ValidationError`
+    (→ 400 at the gateway).  Two entries duplicate each other when they
+    share a ``class_id`` or carry byte-identical device profiles; either
+    way the group would double-count sessions and double-reserve that
+    class's branch.
+    """
+    # Imported lazily: repro.group imports the planner stack, which this
+    # wire-codec module must not pull in at import time (repro.profiles
+    # is loaded by everything, including repro.group itself).
+    from repro.group.request import GroupReceiver
+
+    entries = _sequence(value, "group request 'receivers'")
+    if not entries:
+        raise ValidationError("group request 'receivers' must be non-empty")
+    receivers = []
+    seen_ids: Dict[str, int] = {}
+    seen_devices: Dict[Any, str] = {}
+    for index, entry in enumerate(entries):
+        entry = _mapping(entry, f"receivers[{index}]")
+        class_id = _require(entry, "class_id", f"receivers[{index}]")
+        if not isinstance(class_id, str) or not class_id:
+            raise ValidationError(
+                f"receivers[{index}].class_id must be a non-empty string"
+            )
+        if class_id in seen_ids:
+            raise ValidationError(
+                f"duplicate receiver class_id {class_id!r} "
+                f"(receivers[{seen_ids[class_id]}] and receivers[{index}])"
+            )
+        seen_ids[class_id] = index
+        device_data = _mapping(
+            _require(entry, "device", f"receivers[{index}]"),
+            f"receivers[{index}].device",
+        )
+        if device_data.get("profile") != "device":
+            raise ValidationError(
+                f"receivers[{index}].device carries profile tag "
+                f"{device_data.get('profile')!r}"
+            )
+        device = _device_from_dict(device_data)
+        device_key = device.cache_key()
+        if device_key in seen_devices:
+            raise ValidationError(
+                f"receiver class {class_id!r} duplicates the device profile "
+                f"of class {seen_devices[device_key]!r}"
+            )
+        seen_devices[device_key] = class_id
+        sessions = entry.get("sessions", 1)
+        if not isinstance(sessions, int) or isinstance(sessions, bool):
+            raise ValidationError(
+                f"receivers[{index}].sessions must be an integer"
+            )
+        if sessions < 1:
+            raise ValidationError(
+                f"receivers[{index}].sessions must be >= 1, got {sessions}"
+            )
+        receivers.append(
+            GroupReceiver(class_id=class_id, device=device, sessions=sessions)
+        )
+    return tuple(receivers)
 
 
 def profile_to_dict(profile: Any) -> Dict[str, Any]:

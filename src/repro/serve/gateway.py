@@ -28,6 +28,7 @@ import asyncio
 import signal
 import socket
 import threading
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
@@ -37,6 +38,7 @@ from repro.errors import (
     GatewayProtocolError,
     ReproError,
 )
+from repro.group import GroupPlanner, GroupRequest
 from repro.network.placement import ServicePlacement
 from repro.planner.batch import BatchPlanner, PlanRequest
 from repro.planner.cache import PlanCache
@@ -50,12 +52,15 @@ from repro.serve.health import (
 from repro.serve.http11 import HttpRequest, read_request, render_response
 from repro.serve.metrics import GatewayMetrics
 from repro.serve.protocol import (
+    GroupPlanEnvelope,
+    decode_group_plan_request,
     decode_outcome_report,
     decode_plan_request,
     decode_reload_scenario,
     degraded_response_payload,
     encode_payload,
     error_payload,
+    group_response_payload,
     plan_response_payload,
 )
 from repro.services.catalog import ServiceCatalog
@@ -224,6 +229,12 @@ class PlanningGateway:
         )
         self._active_quarantine: frozenset = frozenset()
         self._overlay: Optional[Tuple[Any, BatchPlanner]] = None
+        # One GroupPlanner (and thus one tree cache) per live BatchPlanner:
+        # the base planner and every quarantine overlay each get their own,
+        # and dropping a planner (swap, quarantine change) drops its trees.
+        self._group_planners: (
+            "weakref.WeakKeyDictionary[BatchPlanner, GroupPlanner]"
+        ) = weakref.WeakKeyDictionary()
         #: Cluster hook: a worker process forwards local breaker
         #: transitions to its supervisor through this callable.
         self.on_health_transition: Optional[Any] = None
@@ -680,6 +691,8 @@ class PlanningGateway:
         route = (request.method, request.path)
         if route == ("POST", "/plan"):
             return await self._handle_plan(request)
+        if route == ("POST", "/plan-group"):
+            return await self._handle_plan_group(request)
         if route == ("POST", "/admin/reload"):
             return await self._handle_reload(request)
         if route == ("POST", "/report"):
@@ -713,8 +726,9 @@ class PlanningGateway:
             return 200, {"status": "ready", "generation": self.generation}, {}
         if route == ("GET", "/metrics"):
             return 200, self.metrics_document(), {}
-        if request.path in ("/plan", "/admin/reload", "/healthz", "/readyz",
-                            "/metrics", "/report", "/health"):
+        if request.path in ("/plan", "/plan-group", "/admin/reload",
+                            "/healthz", "/readyz", "/metrics", "/report",
+                            "/health"):
             return 405, error_payload("invalid", "method not allowed"), {}
         return 404, error_payload("invalid", f"no route {request.path!r}"), {}
 
@@ -769,13 +783,29 @@ class PlanningGateway:
     async def _handle_plan(
         self, request: HttpRequest
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        return await self._admit_plan(request, decode_plan_request)
+
+    async def _handle_plan_group(
+        self, request: HttpRequest
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """``POST /plan-group``: one shared tree for a receiver-class set.
+
+        Admission is identical to ``/plan`` (same limiter, same deadline
+        queue, same sheds); only the decoder and the planning branch in
+        :meth:`_plan_one` differ, keyed on the envelope type.
+        """
+        return await self._admit_plan(request, decode_group_plan_request)
+
+    async def _admit_plan(
+        self, request: HttpRequest, decode: Any
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         loop = asyncio.get_running_loop()
         now = loop.time()
         if self._draining:
             self._metrics.bump("rejected_draining")
             return 503, error_payload("draining"), {}
         try:
-            envelope = decode_plan_request(
+            envelope = decode(
                 request.body,
                 self._state.scenario.registry,
                 self._config.max_deadline_ms,
@@ -911,6 +941,46 @@ class PlanningGateway:
             with self._executor_lock:
                 self._executor_outstanding -= 1
 
+    def _run_group_plan(
+        self, planner: GroupPlanner, group_request: GroupRequest
+    ):
+        """Group twin of :meth:`_run_plan`; same outstanding accounting."""
+        try:
+            return planner.plan_with_cache_info(group_request)
+        finally:
+            with self._executor_lock:
+                self._executor_outstanding -= 1
+
+    def _group_planner_for(self, planner: BatchPlanner) -> GroupPlanner:
+        """The tree-cache-owning group planner bound to ``planner``.
+
+        Keyed weakly on the batch planner itself so quarantine overlays
+        (fresh planner per quarantine set) and hot swaps each get their
+        own tree cache, and retired planners take their trees with them.
+        """
+        group = self._group_planners.get(planner)
+        if group is None:
+            group = GroupPlanner(planner)
+            self._group_planners[planner] = group
+        return group
+
+    def _to_group_request(
+        self, state: _GatewayState, envelope: GroupPlanEnvelope
+    ) -> GroupRequest:
+        scenario = state.scenario
+        return GroupRequest(
+            content=envelope.content or scenario.content,
+            user=envelope.user or scenario.user,
+            sender_node=envelope.sender or scenario.sender_node,
+            receiver_node=envelope.receiver or scenario.receiver_node,
+            receivers=envelope.receivers,
+            context=(
+                envelope.context
+                if envelope.context is not None
+                else scenario.context
+            ),
+        )
+
     def _resolve_degraded(
         self,
         item: _QueuedRequest,
@@ -942,19 +1012,28 @@ class PlanningGateway:
     ) -> None:
         state = self._state
         health_on = self._health is not None
+        is_group = isinstance(item.envelope, GroupPlanEnvelope)
         if (
             health_on
+            and not is_group
             and (deadline - loop.time()) * 1000.0
             <= self._config.degraded_budget_ms
         ):
             # The budget is nearly spent: a planning run would most
             # likely 504.  Ship the source variant unadapted instead.
+            # Group requests never degrade: a per-session passthrough has
+            # no meaning for a class set, so they 504 honestly instead.
             self._resolve_degraded(
                 item, state, "deadline budget nearly spent", queue_ms
             )
             return
         planner = self._quarantine_planner(state) if health_on else state.planner
         quarantined = self._active_quarantine if health_on else frozenset()
+        if is_group:
+            await self._plan_group_one(
+                loop, item, deadline, queue_ms, state, planner
+            )
+            return
         plan_request = self._to_plan_request(state, item.envelope)
         with self._executor_lock:
             saturated = self._executor_outstanding >= self._config.workers
@@ -1044,6 +1123,89 @@ class PlanningGateway:
             item,
             200,
             plan_response_payload(
+                plan,
+                cache_hit=cache_hit,
+                generation=state.generation,
+                queue_ms=queue_ms,
+                plan_ms=plan_ms,
+            ),
+        )
+
+    async def _plan_group_one(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        item: _QueuedRequest,
+        deadline: float,
+        queue_ms: float,
+        state: _GatewayState,
+        planner: BatchPlanner,
+    ) -> None:
+        """Plan one ``/plan-group`` request on a planning thread.
+
+        Quarantine still applies — the group planner sits on whatever
+        planner :meth:`_quarantine_planner` chose — but group answers are
+        never degraded: classes the (possibly masked) catalog cannot
+        serve surface as per-class fallbacks inside a 200, a planning
+        overrun is an honest 504, and a planner-level failure is a typed
+        422 like any other unplannable request.
+        """
+        group_request = self._to_group_request(state, item.envelope)
+        group_planner = self._group_planner_for(planner)
+        with self._executor_lock:
+            saturated = self._executor_outstanding >= self._config.workers
+            if not saturated:
+                self._executor_outstanding += 1
+        if saturated:
+            # Same reasoning as the per-session path: never queue behind
+            # threads abandoned past their deadline.
+            self._metrics.bump("shed_busy")
+            self._resolve(
+                item,
+                429,
+                error_payload(
+                    "shed", "planner pool saturated by overrunning work"
+                ),
+                {"retry-after": f"{self._config.shed_retry_after_s:.3f}"},
+            )
+            return
+        started = loop.time()
+        try:
+            plan, cache_hit = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor,
+                    self._run_group_plan,
+                    group_planner,
+                    group_request,
+                ),
+                timeout=deadline - started,
+            )
+        except asyncio.TimeoutError:
+            self._metrics.bump("timeouts")
+            self._resolve(
+                item,
+                504,
+                error_payload("timeout", "planning overran the deadline"),
+            )
+            return
+        plan_ms = (loop.time() - started) * 1000.0
+        floor_s = self._config.service_floor_ms / 1000.0
+        if floor_s > 0:
+            pad = floor_s - (loop.time() - started)
+            if pad > 0:
+                await asyncio.sleep(pad)
+        self._metrics.bump("groups")
+        self._metrics.bump("group_sessions", plan.total_sessions)
+        self._metrics.bump("group_branches", len(plan.tree.branches))
+        self._metrics.bump("group_fallbacks", plan.fallback_count)
+        self._metrics.bump(
+            "group_saved_bps", int(round(plan.tree.saved_bandwidth_bps()))
+        )
+        for branch in plan.tree.branches:
+            self._metrics.satisfaction.observe(branch.satisfaction)
+        self._resolve(
+            item,
+            200,
+            group_response_payload(
                 plan,
                 cache_hit=cache_hit,
                 generation=state.generation,

@@ -77,6 +77,12 @@ class LoadgenConfig:
     #: Cap on any single retry delay; a server ``Retry-After`` is
     #: honored up to this cap.
     retry_backoff_max_s: float = 2.0
+    #: When > 0, each request is a ``POST /plan-group`` batching this
+    #: many consecutive device classes as one receiver-class set (one
+    #: session per class); 0 keeps the classic per-session ``/plan``
+    #: stream.  Must not exceed ``distinct`` (receiver devices within a
+    #: group must be unique).
+    group_size: int = 0
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,11 @@ class RequestOutcome:
     #: The server's ``Retry-After`` suggestion in seconds (0 when none);
     #: plumbing for the retry loop, excluded from the digest.
     retry_after_s: float = 0.0
+    #: Group mode: per-class branch satisfactions of a ``/plan-group``
+    #: answer (empty for per-session requests and non-200 outcomes).
+    class_satisfactions: Tuple[float, ...] = ()
+    #: Group mode: shared-bandwidth savings the answered tree reported.
+    saved_bps: float = 0.0
 
     def digest_key(self) -> Tuple:
         """The deterministic slice of this outcome (no wall-clock).
@@ -119,6 +130,8 @@ class RequestOutcome:
             self.success,
             self.path,
             self.satisfaction,
+            self.class_satisfactions,
+            round(self.saved_bps, 3),
         )
 
 
@@ -131,6 +144,8 @@ class LoadgenReport:
     seed: int
     elapsed_s: float
     outcomes: Tuple[RequestOutcome, ...] = field(default_factory=tuple)
+    #: Receiver classes per request in group mode (0 = per-session runs).
+    group_size: int = 0
 
     def by_outcome(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -200,6 +215,30 @@ class LoadgenReport:
             "p99": percentile(served, 99.0),
         }
 
+    def class_satisfaction_percentiles(self) -> Dict[str, float]:
+        """Per-class branch satisfaction spread across every served group.
+
+        Each answered ``/plan-group`` contributes one sample per feasible
+        class branch, so the distribution weights classes, not groups.
+        Empty (all zeros) outside group mode.
+        """
+        samples = [
+            satisfaction
+            for o in self.outcomes
+            if o.status == 200
+            for satisfaction in o.class_satisfactions
+        ]
+        return {
+            "p10": percentile(samples, 10.0),
+            "p50": percentile(samples, 50.0),
+            "p95": percentile(samples, 95.0),
+        }
+
+    @property
+    def saved_bps_total(self) -> float:
+        """Shared-bandwidth savings summed over every served group."""
+        return sum(o.saved_bps for o in self.outcomes if o.status == 200)
+
     def worker_distribution(self) -> Dict[str, int]:
         """How many answered requests each worker served (cluster honesty).
 
@@ -224,28 +263,35 @@ class LoadgenReport:
 
     def to_dict(self) -> Dict:
         latency = self.latency_percentiles()
-        return metrics_document(
-            "loadgen",
-            {
-                "requests": self.requests,
-                "rate_per_s": self.rate_per_s,
-                "seed": self.seed,
-                "elapsed_s": round(self.elapsed_s, 6),
-                "achieved_rate_per_s": round(self.achieved_rate_per_s, 3),
-                "completed": self.completed,
-                "shed": self.shed,
-                "timeouts": self.timeouts,
-                "client_failures": self.client_failures,
-                "failed": self.failed,
-                "retried": self.retried,
-                "retry_attempts": self.retry_attempts,
-                "exhausted": self.exhausted,
-                "by_outcome": self.by_outcome(),
-                "latency_ms": {k: round(v, 3) for k, v in latency.items()},
-                "outcome_digest": self.outcome_digest(),
-                "worker_distribution": self.worker_distribution(),
-            },
-        )
+        payload = {
+            "requests": self.requests,
+            "rate_per_s": self.rate_per_s,
+            "seed": self.seed,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "achieved_rate_per_s": round(self.achieved_rate_per_s, 3),
+            "completed": self.completed,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "client_failures": self.client_failures,
+            "failed": self.failed,
+            "retried": self.retried,
+            "retry_attempts": self.retry_attempts,
+            "exhausted": self.exhausted,
+            "by_outcome": self.by_outcome(),
+            "latency_ms": {k: round(v, 3) for k, v in latency.items()},
+            "outcome_digest": self.outcome_digest(),
+            "worker_distribution": self.worker_distribution(),
+        }
+        if self.group_size > 0:
+            satisfaction = self.class_satisfaction_percentiles()
+            payload["group"] = {
+                "size": self.group_size,
+                "class_satisfaction": {
+                    k: round(v, 6) for k, v in satisfaction.items()
+                },
+                "saved_bps_total": round(self.saved_bps_total, 3),
+            }
+        return metrics_document("loadgen", payload)
 
     def summary(self) -> str:
         latency = self.latency_percentiles()
@@ -278,6 +324,18 @@ class LoadgenReport:
                 f"{worker}:{count}" for worker, count in distribution.items()
             )
             lines.append(f"per worker:        {spread}")
+        if self.group_size > 0:
+            satisfaction = self.class_satisfaction_percentiles()
+            lines.append(
+                f"class satisfaction: p10 {satisfaction['p10']:.3f}  "
+                f"p50 {satisfaction['p50']:.3f}  "
+                f"p95 {satisfaction['p95']:.3f} "
+                f"({self.group_size} classes/group)"
+            )
+            lines.append(
+                f"bandwidth saved:   {self.saved_bps_total / 1e6:.2f} Mbps "
+                f"across served groups"
+            )
         return "\n".join(lines)
 
 
@@ -289,11 +347,41 @@ def _request_bodies(
     The hint rides along even without ``--shard-affinity``: it costs one
     header and lets cluster workers meter how traffic would have sharded
     (``shard_hits`` / ``shard_misses``).
+
+    Group mode (``group_size > 0``) emits ``/plan-group`` bodies instead:
+    request ``i`` batches ``group_size`` consecutive device classes
+    (window start rotating with ``i``) as one receiver-class set, one
+    session per class, hinted by the window's first device.
     """
     variants = device_variants(scenario.device, config.distinct)
+    if config.group_size > 0:
+        bodies: List[Tuple[bytes, str]] = []
+        for i in range(config.requests):
+            start = (i * config.group_size) % len(variants)
+            window = [
+                variants[(start + offset) % len(variants)]
+                for offset in range(config.group_size)
+            ]
+            payload: Dict = {
+                "client": config.client,
+                "receivers": [
+                    {
+                        "class_id": variant.device_id,
+                        "device": profile_to_dict(variant),
+                        "sessions": 1,
+                    }
+                    for variant in window
+                ],
+            }
+            if config.deadline_ms is not None:
+                payload["deadline_ms"] = config.deadline_ms
+            bodies.append(
+                (encode_payload(payload), device_shard_hint(window[0]))
+            )
+        return bodies
     variant_bodies = []
     for variant in variants:
-        payload: Dict = {
+        payload = {
             "client": config.client,
             "device": profile_to_dict(variant),
         }
@@ -372,7 +460,7 @@ async def _fire_one(
             writer.write(
                 render_request(
                     "POST",
-                    "/plan",
+                    "/plan-group" if config.group_size > 0 else "/plan",
                     body,
                     headers={SHARD_HINT_HEADER: hint},
                     keep_alive=False,
@@ -407,6 +495,22 @@ async def _fire_one(
     success = bool(payload.get("success", False))
     path = tuple(payload.get("path", ()))
     satisfaction = float(payload.get("satisfaction", 0.0))
+    # Group answers carry per-class branches instead of one path.
+    class_satisfactions: Tuple[float, ...] = ()
+    saved_bps = 0.0
+    branches = payload.get("branches")
+    if isinstance(branches, list):
+        class_satisfactions = tuple(
+            float(branch.get("satisfaction", 0.0))
+            for branch in branches
+            if isinstance(branch, dict)
+        )
+        bandwidth = payload.get("bandwidth")
+        if isinstance(bandwidth, dict):
+            try:
+                saved_bps = float(bandwidth.get("saved_bps", 0.0))
+            except (TypeError, ValueError):
+                saved_bps = 0.0
     try:
         retry_after_s = float(response.headers.get("retry-after", 0.0))
     except (TypeError, ValueError):
@@ -415,6 +519,8 @@ async def _fire_one(
         index, response.status, outcome, success, path, satisfaction,
         latency_ms, worker=response.headers.get(WORKER_ID_HEADER, ""),
         retry_after_s=max(0.0, retry_after_s),
+        class_satisfactions=class_satisfactions,
+        saved_bps=saved_bps,
     )
 
 
@@ -478,6 +584,14 @@ async def run_loadgen(
         config.retry_backoff_s <= 0 or config.retry_backoff_max_s <= 0
     ):
         raise ValidationError("retry backoff delays must be positive")
+    if config.group_size < 0:
+        raise ValidationError("group_size must be >= 0")
+    if config.group_size > config.distinct:
+        raise ValidationError(
+            f"group_size ({config.group_size}) cannot exceed distinct "
+            f"device classes ({config.distinct}): receivers in one group "
+            "must carry unique devices"
+        )
     bodies = _request_bodies(scenario, config)
     router: Optional[ShardRouter] = None
     worker_ports: Dict[int, int] = {}
@@ -515,4 +629,5 @@ async def run_loadgen(
         seed=config.seed,
         elapsed_s=elapsed,
         outcomes=tuple(sorted(outcomes, key=lambda o: o.index)),
+        group_size=config.group_size,
     )

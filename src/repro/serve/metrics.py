@@ -61,6 +61,11 @@ class GatewayMetrics:
         "breaker_opens",     # local breaker transitions into OPEN
         "breaker_closes",    # local breaker transitions into CLOSED
         "quarantine_rebuilds",  # quarantine-set changes that flushed plans
+        "groups",            # /plan-group requests answered 200
+        "group_sessions",    # sessions covered by those groups
+        "group_branches",    # feasible per-class branches across all groups
+        "group_fallbacks",   # classes with no feasible branch (per-session fallback)
+        "group_saved_bps",   # aggregate shared-bandwidth savings (bps, rounded)
     )
 
     def __init__(self) -> None:

@@ -29,11 +29,14 @@ from repro.profiles.user import UserProfile
 from repro.runtime.session import SessionPlan
 
 __all__ = [
+    "GroupPlanEnvelope",
     "PlanRequestEnvelope",
+    "decode_group_plan_request",
     "decode_outcome_report",
     "decode_plan_request",
     "decode_reload_scenario",
     "degraded_response_payload",
+    "group_response_payload",
     "plan_response_payload",
     "error_payload",
     "encode_payload",
@@ -122,6 +125,66 @@ def decode_plan_request(
         sender=data.get("sender"),
         receiver=data.get("receiver"),
     )
+
+
+@dataclass(frozen=True)
+class GroupPlanEnvelope:
+    """One decoded ``POST /plan-group`` body, before scenario defaults."""
+
+    client: str
+    deadline_ms: Optional[float]
+    receivers: tuple
+    user: Optional[UserProfile]
+    content: Optional[ContentProfile]
+    context: Optional[ContextProfile]
+    sender: Optional[str]
+    receiver: Optional[str]
+
+
+def decode_group_plan_request(
+    body: bytes,
+    registry: FormatRegistry,
+    max_deadline_ms: float,
+) -> GroupPlanEnvelope:
+    """Parse and validate one ``POST /plan-group`` body.
+
+    The shape is the plan-request envelope minus the single ``device``
+    field plus a mandatory ``receivers`` array of receiver classes
+    (decoded — with duplicate rejection — by
+    :func:`repro.profiles.serialization.group_receivers_from_list`).
+    """
+    # The common fields share the /plan decoder so both endpoints reject
+    # identical malformations with identical messages; /plan tolerates a
+    # missing body ({} plans the scenario defaults), so the only extra
+    # strictness here is the receivers array.
+    from repro.profiles.serialization import group_receivers_from_list
+
+    base = decode_plan_request(body, registry, max_deadline_ms)
+    if base.device is not None:
+        raise ValidationError(
+            "group requests carry receiver devices in 'receivers', "
+            "not a top-level 'device'"
+        )
+    data = json.loads(body.decode("utf-8"))
+    receivers = group_receivers_from_list(
+        _require_key(data, "receivers", "group request")
+    )
+    return GroupPlanEnvelope(
+        client=base.client,
+        deadline_ms=base.deadline_ms,
+        receivers=receivers,
+        user=base.user,
+        content=base.content,
+        context=base.context,
+        sender=base.sender,
+        receiver=base.receiver,
+    )
+
+
+def _require_key(data: Mapping, key: str, what: str) -> Any:
+    if key not in data:
+        raise ValidationError(f"{what} is missing required key {key!r}")
+    return data[key]
 
 
 def decode_reload_scenario(body: bytes):
@@ -278,6 +341,61 @@ def plan_response_payload(
         )
     else:
         payload["reason"] = result.failure_reason
+    return payload
+
+
+def group_response_payload(
+    plan: Any,
+    *,
+    cache_hit: bool,
+    generation: int,
+    queue_ms: float,
+    plan_ms: float,
+) -> Dict[str, Any]:
+    """The 200 body for one completed group-planning request.
+
+    ``status`` is ``ok`` when at least one receiver class got its
+    standalone-optimal branch and ``infeasible`` when none did;
+    per-class fallbacks are always listed so a partially served group is
+    never mistaken for a fully served one.
+    """
+    tree = plan.tree
+    payload: Dict[str, Any] = {
+        "status": "ok" if plan.success else "infeasible",
+        "success": plan.success,
+        "degraded": False,
+        "generation": generation,
+        "cache_hit": cache_hit,
+        "queue_ms": round(queue_ms, 3),
+        "plan_ms": round(plan_ms, 3),
+        "classes": plan.class_count,
+        "sessions": plan.total_sessions,
+        "branches": [
+            {
+                "class_id": branch.class_id,
+                "sessions": branch.sessions,
+                "path": list(branch.result.path),
+                "formats": list(branch.result.formats),
+                "satisfaction": round(branch.result.satisfaction, 6),
+            }
+            for branch in tree.branches
+        ],
+        "fallbacks": [
+            {"class_id": class_id, "reason": reason}
+            for class_id, reason in tree.fallbacks
+        ],
+        "tree": {
+            "edges": len(tree.edges),
+            "shared_edges": tree.shared_edge_count,
+            "leaves": tree.branch_count,
+            "digest": tree.digest(),
+        },
+        "bandwidth": {
+            "tree_bps": round(tree.tree_bandwidth_bps(), 3),
+            "per_session_bps": round(tree.per_session_bandwidth_bps(), 3),
+            "saved_bps": round(tree.saved_bandwidth_bps(), 3),
+        },
+    }
     return payload
 
 

@@ -16,7 +16,11 @@ any seed yields a coherent campaign:
 - ``gray-failure`` — one backbone service silently drops 80% of its
   attempts while reading as healthy; a per-service failure detector and
   circuit breaker (see ``docs/RESILIENCE.md``) must notice from outcomes
-  alone, quarantine it, and recover it once HALF_OPEN probes succeed.
+  alone, quarantine it, and recover it once HALF_OPEN probes succeed;
+- ``live-event`` — one stream, maximal device heterogeneity (32 receiver
+  classes) and a flash crowd dumping most of the audience into a few
+  seconds: the group-planning workload (``docs/ALGORITHM.md`` §9) where
+  shared adaptation trees pay off most.
 
 ``build_scenario(name, ...)`` is the CLI entry point; ``SCENARIOS`` maps
 names to builders.
@@ -234,12 +238,38 @@ def _gray_failure(seed: int, sessions: int, faults: bool) -> SimulationConfig:
     )
 
 
+def _live_event(seed: int, sessions: int, faults: bool) -> SimulationConfig:
+    scenario = _base(seed)
+    # Most of the audience lands inside a few seconds of "kickoff";
+    # the organic Poisson trickle is just the early arrivals.
+    burst = max(1, (sessions * 3) // 4)
+    schedule: Tuple[FaultInjector, ...] = (
+        (FlashCrowd(start_s=20.0, sessions=burst, over_s=4.0),)
+        if faults
+        else ()
+    )
+    return SimulationConfig(
+        scenario=scenario,
+        name="live-event",
+        seed=seed,
+        sessions=sessions,
+        arrivals=PoissonArrivals(rate_per_s=max(0.5, sessions / 80.0)),
+        session_duration_s=40.0,
+        faults=schedule,
+        # Every handset model tunes into the same stream: the widest
+        # class spread any preset uses, so grouped planning has real
+        # prefixes to share.
+        device_classes=32,
+    )
+
+
 SCENARIOS: Dict[str, ScenarioBuilder] = {
     "steady": _steady,
     "flash-crowd": _flash_crowd,
     "failover-storm": _failover_storm,
     "link-churn": _link_churn,
     "gray-failure": _gray_failure,
+    "live-event": _live_event,
 }
 
 

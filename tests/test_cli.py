@@ -375,3 +375,35 @@ class TestLintCommand:
         # Figure 6 has dead-end services -> warnings, but no errors.
         assert _main(["lint", path], out=out) == 0
         assert "[warning]" in out.getvalue()
+
+
+class TestPlanGroupCommand:
+    ARGS = ("plan-group", "--seed", "7", "--sessions", "40", "--classes", "8")
+
+    def test_summary_output(self):
+        code, text = run_cli(*self.ARGS)
+        assert code == 0
+        assert "40 sessions, 8 receiver classes" in text
+        assert "tree:" in text
+        assert "saved:" in text
+        assert "digest:" in text
+
+    def test_deterministic_across_invocations(self):
+        _, first = run_cli(*self.ARGS)
+        _, second = run_cli(*self.ARGS)
+        first_digest = [l for l in first.splitlines() if "digest" in l]
+        second_digest = [l for l in second.splitlines() if "digest" in l]
+        assert first_digest == second_digest
+
+    def test_compare_prints_the_baseline(self):
+        code, text = run_cli(*self.ARGS, "--compare")
+        assert code == 0
+        assert "per-session baseline:" in text
+        assert "speedup:" in text
+
+    def test_more_classes_than_sessions_is_an_error(self):
+        code, text = run_cli(
+            "plan-group", "--sessions", "4", "--classes", "8"
+        )
+        assert code == 2
+        assert "error:" in text

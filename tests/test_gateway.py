@@ -527,6 +527,59 @@ class TestLoadgenDeterminism:
         assert "per worker" not in report.summary()
 
 
+class TestLoadgenGroupMode:
+    GROUP = dict(
+        requests=12, rate_per_s=300.0, seed=9, distinct=8, group_size=4,
+        deadline_ms=5000.0,
+    )
+
+    def run_campaign(self, **overrides):
+        options = dict(self.GROUP)
+        options.update(overrides)
+
+        async def scenario():
+            gateway = PlanningGateway(SCENARIO, gateway_config())
+            await gateway.start()
+            try:
+                return await run_loadgen(
+                    SCENARIO, LoadgenConfig(port=gateway.port, **options)
+                )
+            finally:
+                await gateway.drain()
+
+        return asyncio.run(scenario())
+
+    def test_group_campaign_serves_and_reports(self):
+        report = self.run_campaign()
+        assert report.completed == 12
+        assert report.group_size == 4
+        served = [o for o in report.outcomes if o.status == 200]
+        assert all(len(o.class_satisfactions) == 4 for o in served)
+        percentiles = report.class_satisfaction_percentiles()
+        assert percentiles["p10"] <= percentiles["p50"] <= percentiles["p95"]
+        document = report.to_dict()
+        group = document["metrics"]["group"]
+        assert group["size"] == 4
+        assert group["saved_bps_total"] >= 0.0
+        assert "class satisfaction:" in report.summary()
+        assert "bandwidth saved:" in report.summary()
+
+    def test_same_seed_identical_group_outcomes(self):
+        first = self.run_campaign()
+        second = self.run_campaign()
+        assert first.outcome_digest() == second.outcome_digest()
+
+    def test_group_size_cannot_exceed_distinct(self):
+        with pytest.raises(Exception) as excinfo:
+            self.run_campaign(group_size=16)
+        assert "cannot exceed distinct" in str(excinfo.value)
+
+    def test_per_session_reports_omit_the_group_block(self):
+        report = self.run_campaign(group_size=0)
+        assert "group" not in report.to_dict()["metrics"]
+        assert "class satisfaction" not in report.summary()
+
+
 class TestWorkerIdentity:
     """A gateway configured as a cluster member stamps and meters."""
 
@@ -619,3 +672,128 @@ class TestWorkerIdentity:
         assert plan[0] == 200
         assert metrics[0] == 200
         assert metrics[1]["metrics"]["worker_id"] == 0
+
+
+class TestPlanGroupEndpoint:
+    """``POST /plan-group``: shared adaptation trees over the wire."""
+
+    @staticmethod
+    def _receivers(n, sessions=1):
+        from repro.planner import device_variants
+
+        return [
+            {
+                "class_id": f"class-{i}",
+                "device": profile_to_dict(variant),
+                "sessions": sessions,
+            }
+            for i, variant in enumerate(
+                device_variants(SCENARIO.device, n)
+            )
+        ]
+
+    def test_group_plans_and_caches(self):
+        async def scenario(gateway):
+            body = {"receivers": self._receivers(4, sessions=5),
+                    "deadline_ms": 5000}
+            first = await request(gateway.port, "POST", "/plan-group", body)
+            second = await request(gateway.port, "POST", "/plan-group", body)
+            return first, second, dict(gateway.metrics.counters)
+
+        first, second, counters = run_against_gateway(scenario)
+        status, payload, _ = first
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["success"] is True
+        assert payload["degraded"] is False
+        assert payload["classes"] == 4
+        assert payload["sessions"] == 20
+        assert len(payload["branches"]) == 4
+        assert payload["fallbacks"] == []
+        assert payload["tree"]["edges"] >= 1
+        assert payload["cache_hit"] is False
+        assert second[1]["cache_hit"] is True
+        assert second[1]["tree"]["digest"] == payload["tree"]["digest"]
+        assert counters["groups"] == 2
+        assert counters["group_sessions"] == 40
+        assert counters["group_branches"] == 8
+        assert counters["group_fallbacks"] == 0
+
+    def test_duplicate_receivers_are_400(self):
+        async def scenario(gateway):
+            receivers = self._receivers(2)
+            dup = {"receivers": receivers + [receivers[0]]}
+            return await request(gateway.port, "POST", "/plan-group", dup)
+
+        status, payload, _ = run_against_gateway(scenario)
+        assert status == 400
+        assert payload["status"] == "invalid"
+        assert "duplicate receiver class" in payload["detail"]
+
+    def test_missing_and_empty_receivers_are_400(self):
+        async def scenario(gateway):
+            missing = await request(gateway.port, "POST", "/plan-group", {})
+            empty = await request(
+                gateway.port, "POST", "/plan-group", {"receivers": []}
+            )
+            return missing, empty
+
+        missing, empty = run_against_gateway(scenario)
+        assert missing[0] == 400
+        assert "receivers" in missing[1]["detail"]
+        assert empty[0] == 400
+
+    def test_top_level_device_is_400(self):
+        async def scenario(gateway):
+            body = {
+                "receivers": self._receivers(2),
+                "device": profile_to_dict(SCENARIO.device),
+            }
+            return await request(gateway.port, "POST", "/plan-group", body)
+
+        status, payload, _ = run_against_gateway(scenario)
+        assert status == 400
+        assert "receivers" in payload["detail"]
+
+    def test_get_is_405(self):
+        async def scenario(gateway):
+            return await request(gateway.port, "GET", "/plan-group")
+
+        status, _, _ = run_against_gateway(scenario)
+        assert status == 405
+
+    def test_infeasible_class_is_a_fallback_not_an_error(self):
+        async def scenario(gateway):
+            receivers = self._receivers(2)
+            receivers.append({
+                "class_id": "zz-brick",
+                "device": {
+                    "profile": "device",
+                    "device_id": "brick",
+                    "decoders": ["no-such-codec"],
+                },
+            })
+            return await request(
+                gateway.port, "POST", "/plan-group",
+                {"receivers": receivers, "deadline_ms": 5000},
+            )
+
+        status, payload, _ = run_against_gateway(scenario)
+        assert status == 200
+        assert payload["success"] is True
+        assert len(payload["branches"]) == 2
+        assert [f["class_id"] for f in payload["fallbacks"]] == ["zz-brick"]
+        assert payload["fallbacks"][0]["reason"]
+
+    def test_hot_swap_invalidates_group_trees(self):
+        async def scenario(gateway):
+            body = {"receivers": self._receivers(3), "deadline_ms": 5000}
+            first = await request(gateway.port, "POST", "/plan-group", body)
+            gateway.swap_scenario(SCENARIO)
+            second = await request(gateway.port, "POST", "/plan-group", body)
+            return first, second
+
+        first, second = run_against_gateway(scenario)
+        assert first[1]["generation"] == 1
+        assert second[1]["generation"] == 2
+        assert second[1]["cache_hit"] is False

@@ -348,3 +348,84 @@ class TestMalformedDocuments:
     def test_malformed_descriptor(self):
         with pytest.raises(ValidationError):
             descriptor_from_dict({"provider": "acme"})
+
+
+class TestGroupReceiverSerialization:
+    """Wire decoding of the /plan-group ``receivers`` list."""
+
+    def _device(self, device_id="handset-a"):
+        from repro.profiles.serialization import profile_to_dict
+
+        return profile_to_dict(
+            DeviceProfile(device_id=device_id, decoders=("fmt",))
+        )
+
+    def _decode(self, value):
+        from repro.profiles.serialization import group_receivers_from_list
+
+        return group_receivers_from_list(value)
+
+    def test_round_trip(self):
+        from repro.profiles.serialization import group_receiver_to_dict
+
+        receivers = self._decode(
+            [
+                {"class_id": "a", "device": self._device("d-a"), "sessions": 3},
+                {"class_id": "b", "device": self._device("d-b")},
+            ]
+        )
+        assert [r.class_id for r in receivers] == ["a", "b"]
+        assert receivers[0].sessions == 3
+        assert receivers[1].sessions == 1
+        rebuilt = self._decode(
+            [group_receiver_to_dict(receiver) for receiver in receivers]
+        )
+        assert rebuilt == receivers
+
+    def test_duplicate_class_id_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate receiver class"):
+            self._decode(
+                [
+                    {"class_id": "a", "device": self._device("d-a")},
+                    {"class_id": "a", "device": self._device("d-b")},
+                ]
+            )
+
+    def test_duplicate_device_rejected(self):
+        with pytest.raises(ValidationError, match="duplicates the device"):
+            self._decode(
+                [
+                    {"class_id": "a", "device": self._device("d-a")},
+                    {"class_id": "b", "device": self._device("d-a")},
+                ]
+            )
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "not-a-list",
+            [],
+            ["not-a-mapping"],
+            [{"device": {"profile": "device"}}],  # class_id missing
+            [{"class_id": "", "device": {"profile": "device"}}],
+            [{"class_id": "a"}],  # device missing
+            [{"class_id": "a", "device": {"profile": "user"}}],
+            [{"class_id": "a", "device": "nope"}],
+        ],
+    )
+    def test_malformed_lists_rejected(self, value):
+        with pytest.raises(ValidationError):
+            self._decode(value)
+
+    @pytest.mark.parametrize("sessions", [0, -1, 1.5, True, "3"])
+    def test_bad_session_counts_rejected(self, sessions):
+        with pytest.raises(ValidationError):
+            self._decode(
+                [
+                    {
+                        "class_id": "a",
+                        "device": self._device(),
+                        "sessions": sessions,
+                    }
+                ]
+            )

@@ -307,5 +307,16 @@ class TestConfigValidation:
     def test_scenario_registry(self):
         assert scenario_names() == sorted(
             ["steady", "flash-crowd", "failover-storm", "link-churn",
-             "gray-failure"]
+             "gray-failure", "live-event"]
         )
+
+    def test_live_event_maximizes_device_heterogeneity(self):
+        config = build_scenario("live-event", seed=3, sessions=12)
+        assert config.device_classes == 32
+        # The flash crowd carries most of the audience.
+        crowd = [f for f in config.faults if type(f).__name__ == "FlashCrowd"]
+        assert len(crowd) == 1
+        assert crowd[0].sessions == 9
+        without = build_scenario("live-event", seed=3, sessions=12,
+                                 faults=False)
+        assert without.faults == ()
