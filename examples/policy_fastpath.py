@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Policy fast path: declarative rules answer ahead of the selector.
+
+A production edge knows things the QoS model does not: some device
+classes are blocked outright, some must only ride the hardware
+transcoders, and a mostly-compatible audience decodes the source format
+natively and needs no adaptation chain at all.  This example embeds a
+three-rule :class:`~repro.policy.PolicyDocument` in the serving
+scenario, boots a real gateway, and walks each action over the wire:
+
+- a ``skip`` rule answers a compatible device with a sound zero-hop
+  plan (``policy_skip``, cost 0) before the selector ever runs;
+- a ``force_tier`` rule pins one device class to the hardware tier;
+- a ``deny`` rule refuses a blocked class with a 403 and a reason;
+- a hot swap over ``POST /admin/reload`` replaces the rules without
+  restarting (and without flushing the selector's plan cache).
+
+Run:
+    python examples/policy_fastpath.py
+"""
+
+import asyncio
+import json
+
+from repro.policy import (
+    Decodes,
+    DeviceIn,
+    PolicyDocument,
+    PolicyRule,
+    policy_to_dict,
+)
+from repro.profiles.device import DeviceProfile
+from repro.profiles.serialization import profile_to_dict
+from repro.serve import GatewayConfig, PlanningGateway
+from repro.serve.http11 import read_response, render_request
+from repro.serve.protocol import encode_payload
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+
+async def call(port: int, method: str, path: str, payload=None):
+    """One hand-rolled HTTP round-trip; returns (status, decoded body)."""
+    body = encode_payload(payload) if payload is not None else b""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(render_request(method, path, body, keep_alive=False))
+    await writer.drain()
+    response = await read_response(reader)
+    writer.close()
+    await writer.wait_closed()
+    return response.status, json.loads(response.body)
+
+
+def sibling(device, device_id, decoders):
+    return DeviceProfile(
+        device_id=device_id,
+        decoders=decoders,
+        max_resolution=device.max_resolution,
+        max_color_depth=device.max_color_depth,
+        max_frame_rate=device.max_frame_rate,
+    )
+
+
+async def main() -> None:
+    # A synthetic world where half the transcoders have hardware
+    # siblings (faster per Equation 2, costlier), plus a policy.
+    scenario = generate_scenario(
+        SyntheticConfig(seed=7, n_services=12, n_formats=8, n_nodes=8,
+                        hw_tier_fraction=0.5)
+    )
+    source = scenario.content.format_names()[0]
+    scenario.policy = PolicyDocument(
+        name="edge-policy",
+        rules=(
+            PolicyRule(rule_id="blocked", action="deny",
+                       predicates=(DeviceIn(("kiosk",)),),
+                       reason="kiosk fleet is region-locked"),
+            PolicyRule(rule_id="hw-only", action="force_tier", tier="hw",
+                       predicates=(DeviceIn(("settop",)),)),
+            PolicyRule(rule_id="native", action="skip",
+                       predicates=(Decodes(source),), tolerance=0.05),
+        ),
+    )
+    base = scenario.device
+    native = sibling(base, "handset",
+                     [source] + [d for d in base.decoders if d != source])
+    settop = sibling(base, "settop", list(base.decoders))
+    kiosk = sibling(base, "kiosk", list(base.decoders))
+
+    gateway = PlanningGateway(scenario, GatewayConfig(port=0, workers=2))
+    await gateway.start()
+    _, policy = await call(gateway.port, "GET", "/policy")
+    print(f"gateway up on 127.0.0.1:{gateway.port} with policy "
+          f"{policy['policy']!r} ({policy['rules']} rules)\n")
+
+    # --- skip: the zero-hop fast path ----------------------------------
+    status, answer = await call(gateway.port, "POST", "/plan",
+                                {"device": profile_to_dict(native)})
+    print(f"native handset -> {status} {answer['status']} "
+          f"(rule {answer['rule']!r})")
+    print(f"  zero-hop fast path: {'->'.join(answer['path'])}, "
+          f"format {answer['formats'][0]}, cost {answer['cost']}")
+    for line in answer["policy_trace"]:
+        print(f"  trace: {line}")
+
+    # --- force_tier: hardware transcoders only --------------------------
+    status, answer = await call(gateway.port, "POST", "/plan",
+                                {"device": profile_to_dict(settop),
+                                 "deadline_ms": 2000})
+    print(f"\nsettop -> {status} {answer['status']} "
+          f"(rule {answer['policy_rule']!r}, tier {answer['forced_tier']!r})")
+    print(f"  path: {'->'.join(answer['path'])}")
+
+    # --- deny: refused before any planning work -------------------------
+    status, answer = await call(gateway.port, "POST", "/plan",
+                                {"device": profile_to_dict(kiosk)})
+    print(f"\nkiosk -> {status} {answer['status']} "
+          f"(rule {answer['rule']!r}: {answer['detail']})")
+
+    # --- hot swap: drop every rule without restarting -------------------
+    status, summary = await call(
+        gateway.port, "POST", "/admin/reload",
+        policy_to_dict(PolicyDocument(name="open-door")),
+    )
+    print(f"\nhot swap -> {summary['status']}: policy "
+          f"{summary['policy']!r}, policy generation "
+          f"{summary['policy_generation']}, "
+          f"{summary['invalidated']} cached decisions invalidated")
+    status, answer = await call(gateway.port, "POST", "/plan",
+                                {"device": profile_to_dict(native)})
+    print(f"native handset now -> {status} {answer['status']} "
+          f"(selector path: {'->'.join(answer['path'])})")
+
+    _, metrics = await call(gateway.port, "GET", "/metrics")
+    counters = metrics["metrics"]["counters"]
+    print(f"\ncounters: policy_fast_path={counters['policy_fast_path']} "
+          f"policy_tier_forced={counters['policy_tier_forced']} "
+          f"policy_denied={counters['policy_denied']} "
+          f"planned={counters['planned']}")
+    await gateway.drain()
+    print("drained cleanly")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

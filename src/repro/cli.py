@@ -495,6 +495,7 @@ def cmd_loadgen(args: argparse.Namespace, out) -> int:
         retries=args.retries,
         retry_backoff_s=args.retry_backoff,
         group_size=args.group_size,
+        policy_mix=args.policy_mix,
     )
     try:
         report = asyncio.run(run_loadgen(scenario, config))
@@ -522,12 +523,35 @@ def cmd_loadgen(args: argparse.Namespace, out) -> int:
 
 
 def cmd_lint(args: argparse.Namespace, out) -> int:
-    scenario = _load_scenario_checked(args.path, out)
-    if scenario is None:
+    if args.path is None and args.policy is None:
+        print("error: lint needs a scenario path and/or --policy", file=out)
         return 2
-    findings = lint_scenario(scenario)
+    scenario = None
+    if args.path is not None:
+        scenario = _load_scenario_checked(args.path, out)
+        if scenario is None:
+            return 2
+    findings = []
+    name = ""
+    if scenario is not None:
+        findings.extend(lint_scenario(scenario))
+        name = scenario.name
+    if args.policy is not None:
+        from repro.policy import load_policy
+        from repro.policy.lint import lint_policy
+
+        try:
+            document = load_policy(args.policy)
+        except ReproError as exc:
+            # Malformed documents (unknown predicate/action names, bad
+            # JSON) are input errors: one line, exit 2 — same contract
+            # as an unreadable scenario file.
+            print(f"error: {exc}", file=out)
+            return 2
+        findings.extend(lint_policy(document, scenario=scenario))
+        name = f"{name} + {document.name}" if name else document.name
     if not findings:
-        print(f"{scenario.name}: clean", file=out)
+        print(f"{name}: clean", file=out)
         return 0
     for finding in findings:
         print(str(finding), file=out)
@@ -585,8 +609,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("path", help="scenario JSON file")
     solve.add_argument("--trace", action="store_true", help="print the round trace")
 
-    lint = commands.add_parser("lint", help="cross-check a saved scenario")
-    lint.add_argument("path", help="scenario JSON file")
+    lint = commands.add_parser(
+        "lint", help="cross-check a saved scenario and/or policy document"
+    )
+    lint.add_argument("path", nargs="?", default=None,
+                      help="scenario JSON file")
+    lint.add_argument("--policy", default=None, metavar="PATH",
+                      help="also lint a policy document (cross-checked "
+                           "against the scenario when one is given)")
 
     plan_batch = commands.add_parser(
         "plan-batch",
@@ -770,6 +800,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="batch this many device classes per request as "
                               "one POST /plan-group receiver set (0 = "
                               "classic per-session /plan stream)")
+    loadgen.add_argument("--policy-mix", type=float, default=0.0,
+                         help="fraction of requests carrying a device that "
+                              "decodes the source format natively (seeded); "
+                              "the report splits latency by policy fast "
+                              "path vs selector path")
     loadgen.add_argument("--json", action="store_true",
                          help="print the full JSON report")
     loadgen.add_argument("--output", default=None, metavar="PATH",

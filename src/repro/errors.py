@@ -26,6 +26,7 @@ __all__ = [
     "PipelineError",
     "GatewayError",
     "GatewayProtocolError",
+    "PolicyDeniedError",
 ]
 
 
@@ -142,3 +143,12 @@ class GatewayError(ReproError):
 
 class GatewayProtocolError(GatewayError):
     """An HTTP/1.1 message on a gateway connection could not be parsed."""
+
+
+class PolicyDeniedError(ReproError):
+    """A policy rule explicitly denied the request (HTTP 403 at the gateway)."""
+
+    def __init__(self, reason: str, rule_id: str = "") -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.rule_id = rule_id

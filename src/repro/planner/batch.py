@@ -21,9 +21,10 @@ the reservation.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.optimizer import OptimizeMemo
 from repro.core.parameters import ParameterSet
@@ -32,6 +33,7 @@ from repro.formats.registry import FormatRegistry
 from repro.network.placement import ServicePlacement
 from repro.network.reservations import BandwidthLedger
 from repro.planner.cache import PlanCache
+from repro.policy.engine import PolicyDecision, PolicyEngine, PolicyPlan
 from repro.planner.fingerprint import (
     GenerationStamp,
     PlanFingerprint,
@@ -79,6 +81,7 @@ class BatchPlanner:
         prune: bool = True,
         record_trace: bool = False,
         optimize_memo: Optional[OptimizeMemo] = None,
+        policy_engine: Optional[PolicyEngine] = None,
     ) -> None:
         self._registry = registry
         self._parameters = parameters
@@ -102,6 +105,14 @@ class BatchPlanner:
         self._optimize_memo = (
             optimize_memo if optimize_memo is not None else OptimizeMemo()
         )
+        # Policy pass ahead of the selector (repro.policy).  Fast-path
+        # answers live in the engine's own cache namespace; tier-forced
+        # requests plan through per-tier sub-planners built lazily below
+        # (plan fingerprints embed catalog generations that restart per
+        # catalog, so each filtered catalog needs its own PlanCache).
+        self._policy_engine = policy_engine
+        self._tier_planners: Dict[str, "BatchPlanner"] = {}
+        self._tier_lock = threading.Lock()
 
     @classmethod
     def for_scenario(cls, scenario: "Scenario", **kwargs) -> "BatchPlanner":
@@ -136,6 +147,10 @@ class BatchPlanner:
     def optimize_memo(self) -> OptimizeMemo:
         """The shared optimize() memo (stats feed :class:`PlannerReport`)."""
         return self._optimize_memo
+
+    @property
+    def policy_engine(self) -> Optional[PolicyEngine]:
+        return self._policy_engine
 
     # ------------------------------------------------------------------
     # Single-request planning
@@ -198,19 +213,20 @@ class BatchPlanner:
         )
         return session.plan(peer=request.peer)
 
-    def plan(self, request: PlanRequest) -> SessionPlan:
-        """Plan one session through the cache (single-flight on miss).
+    def plan(self, request: PlanRequest) -> Union[SessionPlan, PolicyPlan]:
+        """Plan one session through the policy pass and the cache.
 
         Cache misses compute with the planner's shared optimize() memo, so
         even distinct fingerprints reuse each other's solved relaxations.
+        A policy ``skip`` answers without touching the selector at all; a
+        ``deny`` raises :class:`~repro.errors.PolicyDeniedError`.
         """
-        fingerprint = self.fingerprint(request)
-        return self._cache.get_or_compute(
-            fingerprint,
-            lambda: self._plan_fresh(request, optimize_memo=self._optimize_memo),
-        )
+        plan, _hit, _decision = self.plan_with_policy_info(request)
+        return plan
 
-    def plan_with_cache_info(self, request: PlanRequest) -> Tuple[SessionPlan, bool]:
+    def plan_with_cache_info(
+        self, request: PlanRequest
+    ) -> Tuple[Union[SessionPlan, PolicyPlan], bool]:
         """Like :meth:`plan`, also reporting whether the cache already held it.
 
         The serving gateway surfaces the hit flag per response; the
@@ -219,6 +235,39 @@ class BatchPlanner:
         leader may insert between probe and lookup), never wrong about a
         genuine hit.
         """
+        plan, hit, _decision = self.plan_with_policy_info(request)
+        return plan, hit
+
+    def plan_with_policy_info(
+        self, request: PlanRequest
+    ) -> Tuple[Union[SessionPlan, PolicyPlan], bool, Optional[PolicyDecision]]:
+        """Policy-aware planning: ``(plan, cache_hit, decision)``.
+
+        The policy engine (when configured) is consulted *before* any
+        fingerprinting or cache work.  ``decision`` is ``None`` when no
+        rule fired (pure selector path).  For a ``skip`` the returned
+        plan is the engine's zero-hop :class:`PolicyPlan` and the hit
+        flag reflects the engine's decision cache; for ``force_tier``
+        planning runs through a tier-filtered sub-planner with its own
+        plan cache.
+        """
+        engine = self._policy_engine
+        if engine is not None:
+            decision = engine.evaluate(request)
+            if decision.kind == "deny":
+                decision.raise_if_denied()
+            elif decision.kind == "skip":
+                return decision.plan, decision.cached, decision
+            elif decision.kind == "force_tier":
+                plan, hit = self._tier_planner(decision.tier)._selector_plan(
+                    request
+                )
+                return plan, hit, decision
+        plan, hit = self._selector_plan(request)
+        return plan, hit, None
+
+    def _selector_plan(self, request: PlanRequest) -> Tuple[SessionPlan, bool]:
+        """The raw selector path: fingerprint, cache probe, compute."""
         fingerprint = self.fingerprint(request)
         hit = fingerprint in self._cache
         plan = self._cache.get_or_compute(
@@ -226,6 +275,38 @@ class BatchPlanner:
             lambda: self._plan_fresh(request, optimize_memo=self._optimize_memo),
         )
         return plan, hit
+
+    def _tier_planner(self, tier: str) -> "BatchPlanner":
+        """The sub-planner whose catalog keeps only ``tier`` transcoders.
+
+        Sender/receiver pseudo-descriptors pass through untouched.  Each
+        sub-planner owns a fresh :class:`PlanCache` (fingerprints embed
+        per-catalog generation counters, so sharing the main cache would
+        mix namespaces) but shares the optimize() memo.
+        """
+        with self._tier_lock:
+            planner = self._tier_planners.get(tier)
+            if planner is None:
+                filtered = ServiceCatalog(
+                    descriptor
+                    for descriptor in self._catalog
+                    if not descriptor.is_transcoder or descriptor.tier == tier
+                )
+                planner = BatchPlanner(
+                    registry=self._registry,
+                    parameters=self._parameters,
+                    catalog=filtered,
+                    placement=self._placement,
+                    cache=PlanCache(self._cache.max_entries),
+                    ledger=self._ledger,
+                    max_workers=1,
+                    tie_break=self._tie_break,
+                    prune=self._prune,
+                    record_trace=self._record_trace,
+                    optimize_memo=self._optimize_memo,
+                )
+                self._tier_planners[tier] = planner
+            return planner
 
     # ------------------------------------------------------------------
     # Batch planning

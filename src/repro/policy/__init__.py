@@ -1,0 +1,67 @@
+"""Declarative pre-planning policy: decide *whether* before *how*.
+
+The selector (``docs/ALGORITHM.md``) answers "what is the best adaptation
+chain?" — but in realistic traffic mixes most requests need no adaptation
+at all, and running the heap selector to discover a passthrough is pure
+overhead.  This package adds a policy pass evaluated before the selector:
+an ordered list of rules, each a conjunction of typed predicates over the
+request (receiver class) and the content variants, with one of three
+actions:
+
+- ``skip`` — answer a zero-hop plan immediately, *without* touching the
+  selector.  A skip only fires when it is provably sound: the zero-hop
+  satisfaction must be within the rule's declared tolerance of an upper
+  bound on the selector's optimum (see ``engine.py``).
+- ``force_tier`` — constrain planning to one hardware tier (``hw``/``sw``)
+  of the service catalog.
+- ``deny`` — reject the request outright with a reason (HTTP 403 at the
+  gateway).
+
+Documents are wire-serializable (``serialization.py``), lintable
+(``lint.py``), embeddable in scenario files, and hot-swappable through
+the gateway's ``/admin/reload``.
+"""
+
+from repro.policy.document import ACTIONS, PolicyDocument, PolicyRule
+from repro.policy.engine import PolicyDecision, PolicyEngine, PolicyPlan
+from repro.policy.predicates import (
+    PREDICATE_KINDS,
+    BitrateUnder,
+    CodecMatch,
+    DeviceIn,
+    Decodes,
+    FormatIn,
+    PolicyPredicate,
+    ResolutionWithin,
+)
+from repro.policy.serialization import (
+    POLICY_DOCUMENT,
+    POLICY_VERSION,
+    load_policy,
+    policy_from_dict,
+    policy_to_dict,
+    save_policy,
+)
+
+__all__ = [
+    "ACTIONS",
+    "PolicyDocument",
+    "PolicyRule",
+    "PolicyDecision",
+    "PolicyEngine",
+    "PolicyPlan",
+    "PolicyPredicate",
+    "PREDICATE_KINDS",
+    "CodecMatch",
+    "FormatIn",
+    "BitrateUnder",
+    "ResolutionWithin",
+    "DeviceIn",
+    "Decodes",
+    "POLICY_DOCUMENT",
+    "POLICY_VERSION",
+    "policy_to_dict",
+    "policy_from_dict",
+    "save_policy",
+    "load_policy",
+]

@@ -1,0 +1,131 @@
+"""Policy documents: ordered rules of predicates plus an action.
+
+Rules are evaluated first-to-last; the first rule whose predicates match
+(and, for ``skip``, whose zero-hop answer passes the soundness check)
+decides the request.  A rule with no predicates is a catch-all — every
+rule after one is unreachable (``repro lint`` flags this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ValidationError
+from repro.policy.predicates import PolicyPredicate
+from repro.services.descriptor import SERVICE_TIERS
+
+__all__ = ["ACTIONS", "PolicyRule", "PolicyDocument"]
+
+#: The actions a rule may take, in documentation order.
+ACTIONS = ("skip", "force_tier", "deny")
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One rule: match predicates, take an action.
+
+    ``tolerance`` only applies to ``skip``: the zero-hop answer may fall
+    short of the selector-optimum upper bound by at most this much and
+    still fire.  ``tier`` is required for ``force_tier``; ``reason`` is
+    the denial message for ``deny`` (a default is derived when empty).
+    """
+
+    rule_id: str
+    action: str
+    predicates: Tuple[PolicyPredicate, ...] = ()
+    tier: str = ""
+    reason: str = ""
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.rule_id:
+            raise ValidationError("a policy rule needs a non-empty rule_id")
+        if self.action not in ACTIONS:
+            raise ValidationError(
+                f"rule {self.rule_id!r}: unknown action {self.action!r}; "
+                f"choose from {', '.join(ACTIONS)}"
+            )
+        object.__setattr__(self, "predicates", tuple(self.predicates))
+        for predicate in self.predicates:
+            if not isinstance(predicate, PolicyPredicate):
+                raise ValidationError(
+                    f"rule {self.rule_id!r}: predicates must be "
+                    f"PolicyPredicate instances"
+                )
+        object.__setattr__(self, "tolerance", float(self.tolerance))
+        if self.tolerance < 0:
+            raise ValidationError(
+                f"rule {self.rule_id!r}: tolerance must be >= 0"
+            )
+        if self.action == "force_tier":
+            if self.tier not in SERVICE_TIERS:
+                raise ValidationError(
+                    f"rule {self.rule_id!r}: force_tier needs a tier from "
+                    f"{', '.join(SERVICE_TIERS)}, got {self.tier!r}"
+                )
+        elif self.tier:
+            raise ValidationError(
+                f"rule {self.rule_id!r}: only force_tier rules take a tier"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def variant_predicates(self) -> Tuple[PolicyPredicate, ...]:
+        return tuple(p for p in self.predicates if p.scope == "variant")
+
+    @property
+    def request_predicates(self) -> Tuple[PolicyPredicate, ...]:
+        return tuple(p for p in self.predicates if p.scope == "request")
+
+    @property
+    def is_catch_all(self) -> bool:
+        """True when the rule has no predicates (matches everything)."""
+        return not self.predicates
+
+    def deny_reason(self) -> str:
+        return self.reason or f"request denied by policy rule {self.rule_id!r}"
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (
+            self.rule_id,
+            self.action,
+            tuple(p.cache_key() for p in self.predicates),
+            self.tier,
+            self.reason,
+            self.tolerance,
+        )
+
+
+@dataclass(frozen=True)
+class PolicyDocument:
+    """A named, ordered collection of policy rules."""
+
+    name: str
+    rules: Tuple[PolicyRule, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("a policy document needs a non-empty name")
+        object.__setattr__(self, "rules", tuple(self.rules))
+        seen = set()
+        for rule in self.rules:
+            if not isinstance(rule, PolicyRule):
+                raise ValidationError(
+                    f"policy {self.name!r}: rules must be PolicyRule instances"
+                )
+            if rule.rule_id in seen:
+                raise ValidationError(
+                    f"policy {self.name!r}: duplicate rule id {rule.rule_id!r}"
+                )
+            seen.add(rule.rule_id)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (
+            self.name,
+            tuple(rule.cache_key() for rule in self.rules),
+        )

@@ -1,0 +1,305 @@
+"""The policy engine: evaluate rules against a plan request.
+
+Soundness of the zero-hop fast path
+-----------------------------------
+
+A ``skip`` answers with a source variant delivered unmodified.  It is
+only allowed to fire when that answer is provably as good as whatever
+the selector would find, within the rule's declared tolerance:
+
+1. every adaptation chain delivers some source variant's configuration
+   *reduced* by a sequence of ``capped_by`` steps (transcoders only
+   degrade quality, never improve it), then reduced again by the
+   receiver's rendering caps and the context caps;
+2. every satisfaction function is monotone non-decreasing, and every
+   combiner is monotone in each component;
+3. therefore ``max over ALL variants v of satisfaction(v.configuration
+   capped by the receiver/context caps)`` is an upper bound on the
+   selector's optimal satisfaction;
+4. the zero-hop answer is the best *decodable* (and rule-matching)
+   variant under the same capped evaluation.  Skip fires iff
+   ``zero_hop_best >= upper_bound - rule.tolerance``.
+
+If any variant's evaluation raises :class:`UnknownParameterError` (the
+user prefers a parameter the variant does not carry) the engine cannot
+bound the selector and falls through to it — conservative, hence sound.
+
+Decisions are cached per (policy generation, content, device, user,
+context, peer); :meth:`PolicyEngine.swap` bumps the generation and
+clears only this cache, never the selector's plan cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.selection import SelectionResult
+from repro.errors import PolicyDeniedError, UnknownParameterError
+from repro.policy.document import PolicyDocument, PolicyRule
+from repro.profiles.content import ContentVariant
+
+__all__ = ["PolicyDecision", "PolicyEngine", "PolicyPlan"]
+
+
+@dataclass(frozen=True)
+class PolicyPlan:
+    """A zero-hop plan produced by a ``skip`` rule.
+
+    Mirrors the planner's plan shape (``success`` + ``result``) so the
+    gateway, the simulator's reservation path, and the batch planner can
+    treat it interchangeably with a selector-produced plan.
+    """
+
+    success: bool
+    result: SelectionResult
+    rule_id: str
+    trace: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Outcome of one policy evaluation.
+
+    ``kind`` is one of ``"skip"``, ``"force_tier"``, ``"deny"``, or
+    ``"none"`` (no rule fired; run the selector).  ``cached`` is True
+    when the decision came from the fast-path cache.
+    """
+
+    kind: str
+    rule_id: str = ""
+    tier: str = ""
+    reason: str = ""
+    trace: Tuple[str, ...] = ()
+    plan: Optional[PolicyPlan] = None
+    cached: bool = False
+
+    def raise_if_denied(self) -> None:
+        if self.kind == "deny":
+            raise PolicyDeniedError(self.reason, rule_id=self.rule_id)
+
+
+_NO_DECISION = PolicyDecision(kind="none")
+
+
+def merge_caps(device: Any, context: Any) -> Dict[str, float]:
+    """Receiver-side parameter caps: device rendering caps min-merged
+    with context caps (the same reduction the selector's receiver edge
+    applies)."""
+    caps: Dict[str, float] = dict(device.rendering_caps())
+    if context is not None:
+        for name, limit in context.parameter_caps().items():
+            current = caps.get(name)
+            caps[name] = limit if current is None else min(current, limit)
+    return caps
+
+
+class PolicyEngine:
+    """Evaluates a :class:`PolicyDocument` ahead of the selector.
+
+    Thread-safe: the gateway's worker threads all consult one engine.
+    """
+
+    def __init__(
+        self,
+        document: Optional[PolicyDocument] = None,
+        cache_size: int = 4096,
+    ) -> None:
+        self._document = document
+        self._generation = 0
+        self._cache_size = max(1, int(cache_size))
+        self._cache: Dict[Tuple[object, ...], PolicyDecision] = {}
+        self._lock = threading.Lock()
+        self._stats = {
+            "evaluations": 0,
+            "cache_hits": 0,
+            "fast_path": 0,
+            "tier_forced": 0,
+            "denied": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def document(self) -> Optional[PolicyDocument]:
+        return self._document
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def swap(self, document: Optional[PolicyDocument]) -> int:
+        """Install a new document; returns invalidated fast-path entries.
+
+        Bumps the policy generation and clears only the decision cache —
+        selector plan caches are untouched by design.
+        """
+        with self._lock:
+            self._document = document
+            self._generation += 1
+            invalidated = len(self._cache)
+            self._cache.clear()
+            return invalidated
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            document = self._document
+            return {
+                "policy": document.name if document is not None else None,
+                "policy_generation": self._generation,
+                "rules": len(document.rules) if document is not None else 0,
+                "cache_entries": len(self._cache),
+                "counters": dict(self._stats),
+            }
+
+    # ------------------------------------------------------------------
+    def evaluate(self, request: Any) -> PolicyDecision:
+        """Decide one request; ``request`` is a planner ``PlanRequest``."""
+        with self._lock:
+            document = self._document
+            self._stats["evaluations"] += 1
+        if document is None or not document.rules:
+            return _NO_DECISION
+        key = self._key(request)
+        with self._lock:
+            hit = self._cache.get(key)
+        if hit is not None:
+            decision = replace(hit, cached=True)
+            self._count(decision)
+            with self._lock:
+                self._stats["cache_hits"] += 1
+            return decision
+        decision = self._evaluate_fresh(document, request)
+        with self._lock:
+            if len(self._cache) >= self._cache_size:
+                self._cache.clear()
+            self._cache[key] = decision
+        self._count(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    def _count(self, decision: PolicyDecision) -> None:
+        bucket = {
+            "skip": "fast_path",
+            "force_tier": "tier_forced",
+            "deny": "denied",
+        }.get(decision.kind)
+        if bucket is not None:
+            with self._lock:
+                self._stats[bucket] += 1
+
+    def _key(self, request: Any) -> Tuple[object, ...]:
+        context = request.context
+        return (
+            "policy",
+            self._generation,
+            request.content.cache_key(),
+            request.device.cache_key(),
+            request.user.cache_key(),
+            context.cache_key() if context is not None else None,
+            request.peer,
+        )
+
+    def _evaluate_fresh(
+        self, document: PolicyDocument, request: Any
+    ) -> PolicyDecision:
+        caps = merge_caps(request.device, request.context)
+        satisfaction = request.user.satisfaction(request.peer)
+        variants: List[ContentVariant] = list(request.content.variants)
+        for rule in document.rules:
+            if not all(
+                p.matches_request(request.device)
+                for p in rule.request_predicates
+            ):
+                continue
+            variant_predicates = rule.variant_predicates
+            matching = [
+                v
+                for v in variants
+                if all(p.matches_variant(v) for p in variant_predicates)
+            ]
+            if variant_predicates and not matching:
+                continue
+            trace = self._trace(rule)
+            if rule.action == "deny":
+                return PolicyDecision(
+                    kind="deny",
+                    rule_id=rule.rule_id,
+                    reason=rule.deny_reason(),
+                    trace=trace,
+                )
+            if rule.action == "force_tier":
+                return PolicyDecision(
+                    kind="force_tier",
+                    rule_id=rule.rule_id,
+                    tier=rule.tier,
+                    trace=trace,
+                )
+            plan = self._zero_hop_plan(
+                request, rule, matching, variants, caps, satisfaction
+            )
+            if plan is None:
+                # Skip would not be sound here; later rules (and finally
+                # the selector) still get their turn.
+                continue
+            return PolicyDecision(
+                kind="skip",
+                rule_id=rule.rule_id,
+                trace=plan.trace,
+                plan=plan,
+            )
+        return _NO_DECISION
+
+    @staticmethod
+    def _trace(rule: PolicyRule) -> Tuple[str, ...]:
+        predicates = ", ".join(p.kind for p in rule.predicates) or "catch-all"
+        return (f"rule {rule.rule_id!r} matched ({predicates})",)
+
+    def _zero_hop_plan(
+        self,
+        request: Any,
+        rule: PolicyRule,
+        matching: List[ContentVariant],
+        variants: List[ContentVariant],
+        caps: Dict[str, float],
+        satisfaction: Any,
+    ) -> Optional[PolicyPlan]:
+        candidates = [
+            v for v in matching if request.device.can_decode(v.format.name)
+        ]
+        if not candidates:
+            return None
+        try:
+            upper = max(
+                satisfaction.evaluate(v.configuration.capped_by(caps))
+                for v in variants
+            )
+            best = None
+            best_score = float("-inf")
+            for variant in candidates:
+                capped = variant.configuration.capped_by(caps)
+                score = satisfaction.evaluate(capped)
+                if score > best_score:
+                    best, best_score, best_capped = variant, score, capped
+        except UnknownParameterError:
+            return None
+        if best is None or best_score < upper - rule.tolerance:
+            return None
+        result = SelectionResult(
+            success=True,
+            path=("sender", "receiver"),
+            formats=(best.format.name,),
+            configuration=best_capped,
+            satisfaction=best_score,
+            accumulated_cost=0.0,
+            rounds_run=0,
+            trace=None,
+        )
+        trace = self._trace(rule) + (
+            f"zero-hop {best.format.name}: satisfaction "
+            f"{best_score:.4f} >= bound {upper:.4f} - "
+            f"tolerance {rule.tolerance:g}",
+        )
+        return PolicyPlan(
+            success=True, result=result, rule_id=rule.rule_id, trace=trace
+        )

@@ -1,0 +1,121 @@
+"""Static checks for policy documents (``repro lint --policy``).
+
+Structural problems — unknown predicate or action names, missing keys —
+are already rejected by strict deserialization, so by the time a
+document reaches the linter it is well-formed.  The linter finds the
+*semantic* problems deserialization cannot:
+
+- rules that can never fire (anything after a ``deny``/``force_tier``
+  catch-all, or an exact duplicate of an earlier non-skip rule);
+- rules whose predicate sets are identical (overlap: only the first
+  matters for non-skip actions);
+- with a scenario in hand: tiers no catalog service provides, format
+  names the registry does not know.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.policy.document import PolicyDocument, PolicyRule
+from repro.policy.predicates import Decodes, FormatIn
+
+__all__ = ["lint_policy"]
+
+
+def _predicate_signature(rule: PolicyRule) -> Tuple[object, ...]:
+    return tuple(sorted(p.cache_key() for p in rule.predicates))
+
+
+def _rule_formats(rule: PolicyRule) -> List[str]:
+    names: List[str] = []
+    for predicate in rule.predicates:
+        if isinstance(predicate, FormatIn):
+            names.extend(predicate.formats)
+        elif isinstance(predicate, Decodes):
+            names.append(predicate.format_name)
+    return names
+
+
+def lint_policy(
+    document: PolicyDocument, scenario: Optional[Any] = None
+) -> List[Any]:
+    """Return lint findings for ``document``.
+
+    ``scenario`` (a :class:`repro.workloads.scenario.Scenario`) enables
+    the catalog/registry-aware checks.  Findings reuse the scenario
+    linter's ``Finding``/``Severity`` vocabulary.
+    """
+    from repro.workloads.lint import Finding, Severity
+
+    findings: List[Finding] = []
+
+    def error(subject: str, message: str) -> None:
+        findings.append(Finding(Severity.ERROR, subject, message))
+
+    def warning(subject: str, message: str) -> None:
+        findings.append(Finding(Severity.WARNING, subject, message))
+
+    subject = f"policy {document.name!r}"
+    if not document.rules:
+        warning(subject, "document has no rules; every request runs the selector")
+
+    # --- reachability -------------------------------------------------
+    # A deny/force_tier rule always decides the request when its
+    # predicates match; a *catch-all* one therefore terminates
+    # evaluation for every request.  A skip catch-all may still fall
+    # through (soundness check), so it only earns a warning.
+    blocked_by: Optional[PolicyRule] = None
+    for rule in document.rules:
+        rule_subject = f"{subject} rule {rule.rule_id!r}"
+        if blocked_by is not None:
+            error(
+                rule_subject,
+                f"unreachable: rule {blocked_by.rule_id!r} is a catch-all "
+                f"{blocked_by.action} before it",
+            )
+            continue
+        if rule.is_catch_all and rule.action in ("deny", "force_tier"):
+            blocked_by = rule
+
+    # --- overlap ------------------------------------------------------
+    seen: dict = {}
+    for rule in document.rules:
+        signature = (_predicate_signature(rule),)
+        earlier = seen.get(signature)
+        if earlier is not None:
+            rule_subject = f"{subject} rule {rule.rule_id!r}"
+            if earlier.action in ("deny", "force_tier"):
+                error(
+                    rule_subject,
+                    f"unreachable: identical predicates to earlier "
+                    f"{earlier.action} rule {earlier.rule_id!r}",
+                )
+            else:
+                warning(
+                    rule_subject,
+                    f"overlaps rule {earlier.rule_id!r}: identical "
+                    f"predicate set",
+                )
+        else:
+            seen[signature] = rule
+
+    # --- scenario-aware checks ---------------------------------------
+    if scenario is not None:
+        tiers = {descriptor.tier for descriptor in scenario.catalog.transcoders()}
+        registered = set(scenario.registry.names())
+        for rule in document.rules:
+            rule_subject = f"{subject} rule {rule.rule_id!r}"
+            if rule.action == "force_tier" and rule.tier not in tiers:
+                warning(
+                    rule_subject,
+                    f"forces tier {rule.tier!r} but no transcoder in the "
+                    f"catalog provides it",
+                )
+            for name in _rule_formats(rule):
+                if name not in registered:
+                    warning(
+                        rule_subject,
+                        f"references format {name!r} not in the registry",
+                    )
+    return findings

@@ -1,0 +1,207 @@
+"""Typed predicates for policy rules.
+
+Two scopes:
+
+- **variant** predicates look at one content variant (its format, codec,
+  configuration, bandwidth).  A rule with variant predicates matches when
+  at least one variant satisfies all of them.
+- **request** predicates look at the receiver side of a plan request
+  (device identity, decoder set).  Every request predicate must match.
+
+The vocabulary follows the QoE tolerance-band literature: requests whose
+source material is already "close enough" (same codec, resolution within
+bounds, bitrate under a ceiling) are candidates for skipping adaptation
+entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.parameters import RESOLUTION
+from repro.errors import ValidationError
+from repro.profiles.content import ContentVariant
+from repro.profiles.device import DeviceProfile
+
+__all__ = [
+    "PolicyPredicate",
+    "CodecMatch",
+    "FormatIn",
+    "BitrateUnder",
+    "ResolutionWithin",
+    "DeviceIn",
+    "Decodes",
+    "PREDICATE_KINDS",
+]
+
+
+class PolicyPredicate:
+    """Base class; concrete predicates set ``kind`` and ``scope``."""
+
+    kind: str = ""
+    scope: str = ""  # "variant" or "request"
+
+    def matches_variant(self, variant: ContentVariant) -> bool:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def matches_request(self, device: DeviceProfile) -> bool:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def cache_key(self) -> Tuple[object, ...]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+def _clean_names(values: Sequence[str], what: str) -> Tuple[str, ...]:
+    names = tuple(values)
+    if not names:
+        raise ValidationError(f"{what} needs at least one entry")
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise ValidationError(f"{what} entries must be non-empty strings")
+    if len(set(names)) != len(names):
+        raise ValidationError(f"{what} lists an entry twice")
+    return names
+
+
+@dataclass(frozen=True)
+class CodecMatch(PolicyPredicate):
+    """The variant's format uses exactly this codec."""
+
+    codec: str
+
+    kind = "codec_match"
+    scope = "variant"
+
+    def __post_init__(self) -> None:
+        if not self.codec:
+            raise ValidationError("codec_match needs a non-empty codec")
+
+    def matches_variant(self, variant: ContentVariant) -> bool:
+        return variant.format.codec == self.codec
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (self.kind, self.codec)
+
+
+@dataclass(frozen=True)
+class FormatIn(PolicyPredicate):
+    """The variant's format name is one of the listed formats."""
+
+    formats: Tuple[str, ...]
+
+    kind = "format_in"
+    scope = "variant"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "formats", _clean_names(self.formats, "format_in")
+        )
+
+    def matches_variant(self, variant: ContentVariant) -> bool:
+        return variant.format.name in self.formats
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (self.kind, self.formats)
+
+
+@dataclass(frozen=True)
+class BitrateUnder(PolicyPredicate):
+    """The variant's required bandwidth is at most ``bps``."""
+
+    bps: float
+
+    kind = "bitrate_under"
+    scope = "variant"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bps", float(self.bps))
+        if self.bps <= 0:
+            raise ValidationError("bitrate_under needs bps > 0")
+
+    def matches_variant(self, variant: ContentVariant) -> bool:
+        return variant.required_bandwidth() <= self.bps
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (self.kind, self.bps)
+
+
+@dataclass(frozen=True)
+class ResolutionWithin(PolicyPredicate):
+    """The variant's resolution is at most ``max_pixels``.
+
+    A variant whose configuration does not assign a resolution counts as
+    within any bound (it cannot exceed one it does not have).
+    """
+
+    max_pixels: float
+
+    kind = "resolution_within"
+    scope = "variant"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "max_pixels", float(self.max_pixels))
+        if self.max_pixels <= 0:
+            raise ValidationError("resolution_within needs max_pixels > 0")
+
+    def matches_variant(self, variant: ContentVariant) -> bool:
+        value = variant.configuration.get_value(RESOLUTION, 0.0)
+        return value <= self.max_pixels
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (self.kind, self.max_pixels)
+
+
+@dataclass(frozen=True)
+class DeviceIn(PolicyPredicate):
+    """The requesting device id is one of the listed receiver classes."""
+
+    device_ids: Tuple[str, ...]
+
+    kind = "device_in"
+    scope = "request"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "device_ids", _clean_names(self.device_ids, "device_in")
+        )
+
+    def matches_request(self, device: DeviceProfile) -> bool:
+        return device.device_id in self.device_ids
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (self.kind, self.device_ids)
+
+
+@dataclass(frozen=True)
+class Decodes(PolicyPredicate):
+    """The requesting device can natively decode the named format."""
+
+    format_name: str
+
+    kind = "decodes"
+    scope = "request"
+
+    def __post_init__(self) -> None:
+        if not self.format_name:
+            raise ValidationError("decodes needs a non-empty format name")
+
+    def matches_request(self, device: DeviceProfile) -> bool:
+        return device.can_decode(self.format_name)
+
+    def cache_key(self) -> Tuple[object, ...]:
+        return (self.kind, self.format_name)
+
+
+#: kind string -> predicate class, the registry serialization/lint use.
+PREDICATE_KINDS = {
+    cls.kind: cls
+    for cls in (
+        CodecMatch,
+        FormatIn,
+        BitrateUnder,
+        ResolutionWithin,
+        DeviceIn,
+        Decodes,
+    )
+}

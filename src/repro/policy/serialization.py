@@ -1,0 +1,212 @@
+"""Wire format for policy documents.
+
+Follows the strict-decoding contract of :mod:`repro.profiles.serialization`:
+every structural mistake raises :class:`ValidationError` with a message
+naming the offending key, so a mistyped document becomes an HTTP 400 at
+the gateway instead of a traceback.
+
+The document tag is ``"repro-policy"`` — distinct from scenario files —
+so ``/admin/reload`` can tell a policy-only hot swap from a full
+scenario reload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from repro.errors import ValidationError
+from repro.policy.document import ACTIONS, PolicyDocument, PolicyRule
+from repro.policy.predicates import (
+    PREDICATE_KINDS,
+    BitrateUnder,
+    CodecMatch,
+    Decodes,
+    DeviceIn,
+    FormatIn,
+    PolicyPredicate,
+    ResolutionWithin,
+)
+from repro.profiles.serialization import _mapping, _require, _sequence
+
+__all__ = [
+    "POLICY_DOCUMENT",
+    "POLICY_VERSION",
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "rule_to_dict",
+    "rule_from_dict",
+    "policy_to_dict",
+    "policy_from_dict",
+    "save_policy",
+    "load_policy",
+]
+
+POLICY_DOCUMENT = "repro-policy"
+POLICY_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+def predicate_to_dict(predicate: PolicyPredicate) -> Dict[str, Any]:
+    if isinstance(predicate, CodecMatch):
+        return {"kind": predicate.kind, "codec": predicate.codec}
+    if isinstance(predicate, FormatIn):
+        return {"kind": predicate.kind, "formats": list(predicate.formats)}
+    if isinstance(predicate, BitrateUnder):
+        return {"kind": predicate.kind, "bps": predicate.bps}
+    if isinstance(predicate, ResolutionWithin):
+        return {"kind": predicate.kind, "max_pixels": predicate.max_pixels}
+    if isinstance(predicate, DeviceIn):
+        return {"kind": predicate.kind, "device_ids": list(predicate.device_ids)}
+    if isinstance(predicate, Decodes):
+        return {"kind": predicate.kind, "format": predicate.format_name}
+    raise ValidationError(
+        f"cannot serialize predicate of type {type(predicate).__name__}"
+    )
+
+
+def predicate_from_dict(data: Mapping[str, Any]) -> PolicyPredicate:
+    data = _mapping(data, "policy predicate")
+    kind = _require(data, "kind", "policy predicate")
+    if kind not in PREDICATE_KINDS:
+        raise ValidationError(
+            f"unknown policy predicate kind {kind!r}; choose from "
+            f"{', '.join(sorted(PREDICATE_KINDS))}"
+        )
+    if kind == "codec_match":
+        return CodecMatch(codec=_require(data, "codec", "codec_match"))
+    if kind == "format_in":
+        return FormatIn(
+            formats=tuple(
+                _sequence(_require(data, "formats", "format_in"), "format_in.formats")
+            )
+        )
+    if kind == "bitrate_under":
+        return BitrateUnder(bps=_number(data, "bps", "bitrate_under"))
+    if kind == "resolution_within":
+        return ResolutionWithin(
+            max_pixels=_number(data, "max_pixels", "resolution_within")
+        )
+    if kind == "device_in":
+        return DeviceIn(
+            device_ids=tuple(
+                _sequence(
+                    _require(data, "device_ids", "device_in"),
+                    "device_in.device_ids",
+                )
+            )
+        )
+    return Decodes(format_name=_require(data, "format", "decodes"))
+
+
+def _number(data: Mapping[str, Any], key: str, what: str) -> float:
+    value = _require(data, key, what)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{what}.{key} must be a number, got {value!r}")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Rules and documents
+# ----------------------------------------------------------------------
+def rule_to_dict(rule: PolicyRule) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "rule_id": rule.rule_id,
+        "action": rule.action,
+        "predicates": [predicate_to_dict(p) for p in rule.predicates],
+    }
+    if rule.tier:
+        payload["tier"] = rule.tier
+    if rule.reason:
+        payload["reason"] = rule.reason
+    if rule.tolerance:
+        payload["tolerance"] = rule.tolerance
+    return payload
+
+
+def rule_from_dict(data: Mapping[str, Any]) -> PolicyRule:
+    data = _mapping(data, "policy rule")
+    action = _require(data, "action", "policy rule")
+    if action not in ACTIONS:
+        raise ValidationError(
+            f"unknown policy action {action!r}; choose from "
+            f"{', '.join(ACTIONS)}"
+        )
+    tolerance = data.get("tolerance", 0.0)
+    if isinstance(tolerance, bool) or not isinstance(tolerance, (int, float)):
+        raise ValidationError(
+            f"policy rule tolerance must be a number, got {tolerance!r}"
+        )
+    return PolicyRule(
+        rule_id=_require(data, "rule_id", "policy rule"),
+        action=action,
+        predicates=tuple(
+            predicate_from_dict(item)
+            for item in _sequence(
+                data.get("predicates", ()), "policy rule predicates"
+            )
+        ),
+        tier=data.get("tier", ""),
+        reason=data.get("reason", ""),
+        tolerance=float(tolerance),
+    )
+
+
+def policy_to_dict(document: PolicyDocument) -> Dict[str, Any]:
+    return {
+        "document": POLICY_DOCUMENT,
+        "version": POLICY_VERSION,
+        "name": document.name,
+        "description": document.description,
+        "rules": [rule_to_dict(rule) for rule in document.rules],
+    }
+
+
+def policy_from_dict(data: Mapping[str, Any]) -> PolicyDocument:
+    data = _mapping(data, "policy document")
+    tag = data.get("document")
+    if tag != POLICY_DOCUMENT:
+        raise ValidationError(
+            f"not a policy document: expected document={POLICY_DOCUMENT!r}, "
+            f"got {tag!r}"
+        )
+    version = data.get("version")
+    if version != POLICY_VERSION:
+        raise ValidationError(
+            f"unsupported policy document version {version!r} "
+            f"(this build reads version {POLICY_VERSION})"
+        )
+    return PolicyDocument(
+        name=_require(data, "name", "policy document"),
+        description=data.get("description", ""),
+        rules=tuple(
+            rule_from_dict(item)
+            for item in _sequence(
+                data.get("rules", ()), "policy document rules"
+            )
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def save_policy(document: PolicyDocument, target: Union[str, Path]) -> Path:
+    path = Path(target)
+    path.write_text(
+        json.dumps(policy_to_dict(document), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_policy(source: Union[str, Path]) -> PolicyDocument:
+    path = Path(source)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"malformed policy file {path}: {exc}") from exc
+    return policy_from_dict(data)

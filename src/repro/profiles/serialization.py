@@ -190,6 +190,7 @@ def descriptor_to_dict(descriptor: ServiceDescriptor) -> Dict[str, Any]:
         "kind": descriptor.kind.value,
         "provider": descriptor.provider,
         "description": descriptor.description,
+        "tier": descriptor.tier,
     }
 
 
@@ -215,6 +216,7 @@ def descriptor_from_dict(data: Mapping[str, Any]) -> ServiceDescriptor:
         kind=ServiceKind(data.get("kind", "transcoder")),
         provider=data.get("provider", ""),
         description=data.get("description", ""),
+        tier=data.get("tier", "sw"),
     )
 
 

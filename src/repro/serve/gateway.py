@@ -36,12 +36,16 @@ from typing import Any, Dict, Optional, Set, Tuple
 from repro.errors import (
     GatewayError,
     GatewayProtocolError,
+    PolicyDeniedError,
     ReproError,
 )
 from repro.group import GroupPlanner, GroupRequest
 from repro.network.placement import ServicePlacement
 from repro.planner.batch import BatchPlanner, PlanRequest
 from repro.planner.cache import PlanCache
+from repro.policy.document import PolicyDocument
+from repro.policy.engine import PolicyEngine
+from repro.policy.serialization import policy_to_dict
 from repro.serve.admission import DeadlineQueue, RateLimiter
 from repro.serve.health import (
     BreakerState,
@@ -62,6 +66,7 @@ from repro.serve.protocol import (
     error_payload,
     group_response_payload,
     plan_response_payload,
+    policy_skip_payload,
 )
 from repro.services.catalog import ServiceCatalog
 from repro.serve.sharding import (
@@ -159,10 +164,13 @@ class _QueuedRequest:
 
 
 def _new_state(
-    scenario: Scenario, cache: PlanCache, generation: int
+    scenario: Scenario,
+    cache: PlanCache,
+    generation: int,
+    policy_engine: Optional[PolicyEngine] = None,
 ) -> _GatewayState:
     planner = BatchPlanner.for_scenario(
-        scenario, cache=cache, record_trace=False
+        scenario, cache=cache, record_trace=False, policy_engine=policy_engine
     )
     return _GatewayState(
         scenario=scenario, planner=planner, generation=generation
@@ -184,7 +192,16 @@ class PlanningGateway:
                 f"cluster_size must be >= 1, got {self._config.cluster_size}"
             )
         self._cache = PlanCache(max_entries=self._config.cache_size)
-        self._state = _new_state(scenario, self._cache, generation=1)
+        # One policy engine for the gateway's lifetime: its generation
+        # counter stays monotonic across scenario swaps and policy-only
+        # reloads, and its decision cache is the fast-path namespace
+        # (cleared on policy swaps, untouched by selector-cache events).
+        self._policy = PolicyEngine(
+            scenario.policy, cache_size=self._config.cache_size
+        )
+        self._state = _new_state(
+            scenario, self._cache, generation=1, policy_engine=self._policy
+        )
         self._scenario_path = scenario_path
         self._queue = DeadlineQueue(self._config.queue_depth)
         self._limiter = RateLimiter(self._config.rate_per_s, self._config.burst)
@@ -391,6 +408,10 @@ class PlanningGateway:
             max_workers=1,
             record_trace=False,
             optimize_memo=state.planner.optimize_memo,
+            # Policy still applies under quarantine: a zero-hop skip
+            # needs no services, and a forced tier filters whatever
+            # catalog survives the mask.
+            policy_engine=self._policy,
         )
         self._overlay = (key, planner)
         return planner
@@ -554,16 +575,27 @@ class PlanningGateway:
         eagerly and meters the invalidation.
         """
         self._state = _new_state(
-            scenario, self._cache, generation=self._state.generation + 1
+            scenario,
+            self._cache,
+            generation=self._state.generation + 1,
+            policy_engine=self._policy,
         )
         self._overlay = None
         invalidated = self._cache.clear()
+        # The active policy follows the active scenario: a full swap
+        # installs the new scenario's policy (possibly none), replacing
+        # any earlier policy-only hot swap.
+        self._policy.swap(scenario.policy)
         self._metrics.bump("reloads")
         return {
             "status": "reloaded",
             "scenario": scenario.name,
             "generation": self._state.generation,
             "invalidated": invalidated,
+            "policy": (
+                scenario.policy.name if scenario.policy is not None else None
+            ),
+            "policy_generation": self._policy.generation,
         }
 
     async def _reload_from_path(self) -> None:
@@ -589,10 +621,39 @@ class PlanningGateway:
         pipe meters it as an error.
         """
         loop = asyncio.get_running_loop()
-        scenario = await loop.run_in_executor(
+        decoded = await loop.run_in_executor(
             None, decode_reload_scenario, body
         )
-        return self.swap_scenario(scenario)
+        if isinstance(decoded, PolicyDocument):
+            return self.swap_policy(decoded)
+        return self.swap_scenario(decoded)
+
+    def swap_policy(self, document: Optional[PolicyDocument]) -> Dict[str, Any]:
+        """Hot-swap only the policy document.
+
+        Bumps the policy generation and clears only the fast-path
+        decision cache; the selector's plan cache (and its hit streaks)
+        survive untouched, and the scenario generation does not move.
+        """
+        invalidated = self._policy.swap(document)
+        self._metrics.bump("reloads")
+        return {
+            "status": "reloaded",
+            "policy": document.name if document is not None else None,
+            "generation": self._state.generation,
+            "policy_generation": self._policy.generation,
+            "invalidated": invalidated,
+        }
+
+    def policy_document(self) -> Dict[str, Any]:
+        """The ``GET /policy`` payload: active document plus engine stats."""
+        payload: Dict[str, Any] = {"status": "ok"}
+        payload.update(self._policy.stats())
+        document = self._policy.document
+        payload["document"] = (
+            policy_to_dict(document) if document is not None else None
+        )
+        return payload
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -726,9 +787,11 @@ class PlanningGateway:
             return 200, {"status": "ready", "generation": self.generation}, {}
         if route == ("GET", "/metrics"):
             return 200, self.metrics_document(), {}
+        if route == ("GET", "/policy"):
+            return 200, self.policy_document(), {}
         if request.path in ("/plan", "/plan-group", "/admin/reload",
                             "/healthz", "/readyz", "/metrics", "/report",
-                            "/health"):
+                            "/health", "/policy"):
             return 405, error_payload("invalid", "method not allowed"), {}
         return 404, error_payload("invalid", f"no route {request.path!r}"), {}
 
@@ -936,7 +999,7 @@ class PlanningGateway:
         running — the job is outstanding until the thread actually ends.
         """
         try:
-            return planner.plan_with_cache_info(plan_request)
+            return planner.plan_with_policy_info(plan_request)
         finally:
             with self._executor_lock:
                 self._executor_outstanding -= 1
@@ -1058,7 +1121,7 @@ class PlanningGateway:
             return
         started = loop.time()
         try:
-            plan, cache_hit = await asyncio.wait_for(
+            plan, cache_hit, decision = await asyncio.wait_for(
                 loop.run_in_executor(
                     self._executor,
                     self._run_plan,
@@ -1084,6 +1147,16 @@ class PlanningGateway:
                 error_payload("timeout", "planning overran the deadline"),
             )
             return
+        except PolicyDeniedError as exc:
+            # A deny is an explicit policy verdict, never degraded over:
+            # this arm must sit before the generic ReproError handler.
+            self._metrics.bump("policy_denied")
+            self._resolve(
+                item,
+                403,
+                error_payload("denied", str(exc), rule=exc.rule_id),
+            )
+            return
         except ReproError:
             if quarantined:
                 # The masked catalog is what broke planning; that is a
@@ -1103,6 +1176,25 @@ class PlanningGateway:
             pad = floor_s - (loop.time() - started)
             if pad > 0:
                 await asyncio.sleep(pad)
+        if decision is not None and decision.kind == "skip":
+            # Zero-hop fast path: the selector never ran.  Metered apart
+            # from "planned" (like degraded answers) so the counter split
+            # mirrors the path split.
+            self._metrics.bump("policy_fast_path")
+            self._metrics.satisfaction.observe(plan.result.satisfaction)
+            self._resolve(
+                item,
+                200,
+                policy_skip_payload(
+                    plan,
+                    cache_hit=cache_hit,
+                    generation=state.generation,
+                    policy_generation=self._policy.generation,
+                    queue_ms=queue_ms,
+                    plan_ms=plan_ms,
+                ),
+            )
+            return
         if not plan.success and quarantined:
             # Feasible at full quality before the breaker trip, not
             # under quarantine: degrade rather than answer infeasible.
@@ -1119,17 +1211,18 @@ class PlanningGateway:
             self._metrics.satisfaction.observe(plan.result.satisfaction)
         else:
             self._metrics.bump("infeasible")
-        self._resolve(
-            item,
-            200,
-            plan_response_payload(
-                plan,
-                cache_hit=cache_hit,
-                generation=state.generation,
-                queue_ms=queue_ms,
-                plan_ms=plan_ms,
-            ),
+        payload = plan_response_payload(
+            plan,
+            cache_hit=cache_hit,
+            generation=state.generation,
+            queue_ms=queue_ms,
+            plan_ms=plan_ms,
         )
+        if decision is not None and decision.kind == "force_tier":
+            self._metrics.bump("policy_tier_forced")
+            payload["policy_rule"] = decision.rule_id
+            payload["forced_tier"] = decision.tier
+        self._resolve(item, 200, payload)
 
     async def _plan_group_one(
         self,

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import GatewayProtocolError, ValidationError
 from repro.planner.workload import device_variants
+from repro.profiles.device import DeviceProfile
 from repro.profiles.serialization import profile_to_dict
 from repro.runtime.metrics import metrics_document
 from repro.serve.http11 import read_response, render_request
@@ -83,6 +84,13 @@ class LoadgenConfig:
     #: stream.  Must not exceed ``distinct`` (receiver devices within a
     #: group must be unique).
     group_size: int = 0
+    #: When > 0, this fraction of requests carries a *compatible* device
+    #: (one that decodes the content's source format natively), so a
+    #: gateway policy with a ``decodes``-gated ``skip`` rule answers them
+    #: on the zero-hop fast path.  Which requests are compatible is a
+    #: pure function of the seed; the report then splits latency by path
+    #: and reports the observed fast-path hit rate.  0 disables the mix.
+    policy_mix: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -146,6 +154,8 @@ class LoadgenReport:
     outcomes: Tuple[RequestOutcome, ...] = field(default_factory=tuple)
     #: Receiver classes per request in group mode (0 = per-session runs).
     group_size: int = 0
+    #: The campaign's compatible-device fraction (0 = no policy mix).
+    policy_mix: float = 0.0
 
     def by_outcome(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -239,6 +249,54 @@ class LoadgenReport:
         """Shared-bandwidth savings summed over every served group."""
         return sum(o.saved_bps for o in self.outcomes if o.status == 200)
 
+    @property
+    def policy_fast_path(self) -> int:
+        """Served requests the gateway answered on the policy fast path."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o.status == 200 and o.outcome == "policy_skip"
+        )
+
+    @property
+    def policy_denied(self) -> int:
+        """Requests a policy ``deny`` rule rejected (403)."""
+        return sum(1 for o in self.outcomes if o.status == 403)
+
+    @property
+    def policy_fast_path_rate(self) -> float:
+        """Fast-path answers over all served (200) requests."""
+        if self.completed == 0:
+            return 0.0
+        return self.policy_fast_path / self.completed
+
+    def policy_latency_split(self) -> Dict[str, Dict[str, float]]:
+        """p50/p99 latency split by answering path (fast vs selector).
+
+        Only served (200) requests contribute; the selector bucket also
+        covers tier-forced answers, which do run the selector.
+        """
+        fast = [
+            o.latency_ms
+            for o in self.outcomes
+            if o.status == 200 and o.outcome == "policy_skip"
+        ]
+        selector = [
+            o.latency_ms
+            for o in self.outcomes
+            if o.status == 200 and o.outcome != "policy_skip"
+        ]
+        return {
+            "fast_path": {
+                "p50": percentile(fast, 50.0),
+                "p99": percentile(fast, 99.0),
+            },
+            "selector": {
+                "p50": percentile(selector, 50.0),
+                "p99": percentile(selector, 99.0),
+            },
+        }
+
     def worker_distribution(self) -> Dict[str, int]:
         """How many answered requests each worker served (cluster honesty).
 
@@ -291,6 +349,18 @@ class LoadgenReport:
                 },
                 "saved_bps_total": round(self.saved_bps_total, 3),
             }
+        if self.policy_mix > 0:
+            split = self.policy_latency_split()
+            payload["policy"] = {
+                "mix": self.policy_mix,
+                "fast_path": self.policy_fast_path,
+                "fast_path_rate": round(self.policy_fast_path_rate, 6),
+                "denied": self.policy_denied,
+                "latency_ms": {
+                    path: {k: round(v, 3) for k, v in buckets.items()}
+                    for path, buckets in split.items()
+                },
+            }
         return metrics_document("loadgen", payload)
 
     def summary(self) -> str:
@@ -336,6 +406,21 @@ class LoadgenReport:
                 f"bandwidth saved:   {self.saved_bps_total / 1e6:.2f} Mbps "
                 f"across served groups"
             )
+        if self.policy_mix > 0:
+            split = self.policy_latency_split()
+            lines.append(
+                f"policy fast path:  {self.policy_fast_path} "
+                f"({self.policy_fast_path_rate * 100:.1f}% of served, "
+                f"{self.policy_mix * 100:.0f}% compatible mix, "
+                f"{self.policy_denied} denied)"
+            )
+            lines.append(
+                f"latency by path:   fast p50 "
+                f"{split['fast_path']['p50']:.1f} "
+                f"p99 {split['fast_path']['p99']:.1f}  |  selector p50 "
+                f"{split['selector']['p50']:.1f} "
+                f"p99 {split['selector']['p99']:.1f}"
+            )
         return "\n".join(lines)
 
 
@@ -379,19 +464,50 @@ def _request_bodies(
                 (encode_payload(payload), device_shard_hint(window[0]))
             )
         return bodies
-    variant_bodies = []
-    for variant in variants:
+    def body_for(variant: DeviceProfile) -> Tuple[bytes, str]:
         payload = {
             "client": config.client,
             "device": profile_to_dict(variant),
         }
         if config.deadline_ms is not None:
             payload["deadline_ms"] = config.deadline_ms
-        variant_bodies.append(
-            (encode_payload(payload), device_shard_hint(variant))
+        return (encode_payload(payload), device_shard_hint(variant))
+
+    variant_bodies = [body_for(variant) for variant in variants]
+    if config.policy_mix <= 0:
+        return [
+            variant_bodies[i % len(variant_bodies)]
+            for i in range(config.requests)
+        ]
+    # Policy mix: a seeded fraction of the stream swaps in *compatible*
+    # sibling devices (same class shape, but decoding the source format
+    # natively and identifying as ``<id>-compat``), so a gateway policy
+    # gated on ``decodes`` answers exactly those on the fast path.
+    source_format = scenario.content.format_names()[0]
+    compatible_bodies = [
+        body_for(
+            DeviceProfile(
+                device_id=f"{variant.device_id}-compat",
+                decoders=[source_format]
+                + [d for d in variant.decoders if d != source_format],
+                max_resolution=variant.max_resolution,
+                max_color_depth=variant.max_color_depth,
+                max_frame_rate=variant.max_frame_rate,
+                max_audio_kbps=variant.max_audio_kbps,
+                cpu_mips=variant.cpu_mips,
+                memory_mb=variant.memory_mb,
+                vendor=variant.vendor,
+                model=variant.model,
+                attributes=variant.attributes,
+            )
         )
+        for variant in variants
+    ]
+    mix_rng = random.Random(f"{config.seed}:policy-mix")
     return [
-        variant_bodies[i % len(variant_bodies)] for i in range(config.requests)
+        (compatible_bodies if mix_rng.random() < config.policy_mix
+         else variant_bodies)[i % len(variants)]
+        for i in range(config.requests)
     ]
 
 
@@ -592,6 +708,13 @@ async def run_loadgen(
             f"device classes ({config.distinct}): receivers in one group "
             "must carry unique devices"
         )
+    if not 0.0 <= config.policy_mix <= 1.0:
+        raise ValidationError("policy_mix must lie in [0, 1]")
+    if config.policy_mix > 0 and config.group_size > 0:
+        raise ValidationError(
+            "policy_mix applies to per-session /plan streams; "
+            "it cannot combine with group mode"
+        )
     bodies = _request_bodies(scenario, config)
     router: Optional[ShardRouter] = None
     worker_ports: Dict[int, int] = {}
@@ -630,4 +753,5 @@ async def run_loadgen(
         elapsed_s=elapsed,
         outcomes=tuple(sorted(outcomes, key=lambda o: o.index)),
         group_size=config.group_size,
+        policy_mix=config.policy_mix,
     )

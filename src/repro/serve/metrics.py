@@ -66,6 +66,9 @@ class GatewayMetrics:
         "group_branches",    # feasible per-class branches across all groups
         "group_fallbacks",   # classes with no feasible branch (per-session fallback)
         "group_saved_bps",   # aggregate shared-bandwidth savings (bps, rounded)
+        "policy_fast_path",  # 200: policy skip answered without the selector
+        "policy_denied",     # 403: policy deny rule rejected the request
+        "policy_tier_forced",  # requests planned through a forced hardware tier
     )
 
     def __init__(self) -> None:

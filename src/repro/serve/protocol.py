@@ -38,6 +38,8 @@ __all__ = [
     "degraded_response_payload",
     "group_response_payload",
     "plan_response_payload",
+    "policy_skip_payload",
+    "zero_hop_payload",
     "error_payload",
     "encode_payload",
 ]
@@ -212,6 +214,10 @@ def decode_reload_scenario(body: bytes):
         raise ValidationError("reload body must be a JSON object")
     if data.get("document") == "repro-scenario":
         return scenario_from_dict(data)
+    if data.get("document") == "repro-policy":
+        from repro.policy.serialization import policy_from_dict
+
+        return policy_from_dict(data)
     synthetic = data.get("synthetic")
     if isinstance(synthetic, Mapping):
         allowed = {"seed", "n_services", "n_formats", "n_nodes"}
@@ -230,8 +236,8 @@ def decode_reload_scenario(body: bytes):
             coerced[key] = value
         return generate_scenario(SyntheticConfig(**coerced))
     raise ValidationError(
-        "reload body must be a repro-scenario document or "
-        "{'synthetic': {...}}"
+        "reload body must be a repro-scenario document, a repro-policy "
+        "document, or {'synthetic': {...}}"
     )
 
 
@@ -276,6 +282,50 @@ def decode_outcome_report(body: bytes) -> "tuple[str, list]":
     return client, samples
 
 
+def zero_hop_payload(
+    *,
+    status: str,
+    degraded: bool,
+    formats: "list[str]",
+    satisfaction: float,
+    delivered_frame_rate: Optional[float],
+    reason: str,
+    generation: int,
+    cache_hit: bool,
+    queue_ms: float,
+    plan_ms: float,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The 200 body for any zero-hop (sender -> receiver) answer.
+
+    One construction site for every response that ships a source variant
+    without an adaptation chain — degraded-mode passthroughs and policy
+    fast-path skips — so their wire shapes cannot drift apart.
+    ``success`` is always true: the client gets a deliverable plan.
+    """
+    payload: Dict[str, Any] = {
+        "status": status,
+        "success": True,
+        "degraded": degraded,
+        "path": ["sender", "receiver"],
+        "formats": list(formats),
+        "satisfaction": round(float(satisfaction), 6),
+        "cost": 0.0,
+        "delivered_frame_rate": (
+            round(delivered_frame_rate, 6)
+            if delivered_frame_rate is not None
+            else None
+        ),
+        "reason": reason,
+        "generation": generation,
+        "cache_hit": cache_hit,
+        "queue_ms": round(queue_ms, 3),
+        "plan_ms": round(plan_ms, 3),
+    }
+    payload.update(extra)
+    return payload
+
+
 def degraded_response_payload(
     *,
     reason: str,
@@ -291,22 +341,53 @@ def degraded_response_payload(
     true — the client gets *something* within its deadline — and
     ``degraded`` marks the quality downgrade explicitly.
     """
-    return {
-        "status": "degraded",
-        "success": True,
-        "degraded": True,
-        "path": ["sender", "receiver"],
-        "formats": [],
-        "satisfaction": 0.0,
-        "cost": 0.0,
-        "delivered_frame_rate": None,
-        "reason": reason,
-        "quarantined": quarantined,
-        "generation": generation,
-        "cache_hit": False,
-        "queue_ms": round(queue_ms, 3),
-        "plan_ms": round(plan_ms, 3),
-    }
+    return zero_hop_payload(
+        status="degraded",
+        degraded=True,
+        formats=[],
+        satisfaction=0.0,
+        delivered_frame_rate=None,
+        reason=reason,
+        generation=generation,
+        cache_hit=False,
+        queue_ms=queue_ms,
+        plan_ms=plan_ms,
+        quarantined=quarantined,
+    )
+
+
+def policy_skip_payload(
+    plan: Any,
+    *,
+    cache_hit: bool,
+    generation: int,
+    policy_generation: int,
+    queue_ms: float,
+    plan_ms: float,
+) -> Dict[str, Any]:
+    """The 200 body for a policy fast-path (zero-hop skip) answer.
+
+    Unlike a degraded passthrough this is a *quality* answer: the policy
+    engine proved the declared satisfaction is within the firing rule's
+    tolerance of the selector optimum, and the payload names the rule and
+    carries the policy trace.
+    """
+    result = plan.result
+    return zero_hop_payload(
+        status="policy_skip",
+        degraded=False,
+        formats=list(result.formats),
+        satisfaction=result.satisfaction,
+        delivered_frame_rate=result.delivered_frame_rate,
+        reason=f"policy rule {plan.rule_id!r} matched",
+        generation=generation,
+        cache_hit=cache_hit,
+        queue_ms=queue_ms,
+        plan_ms=plan_ms,
+        rule=plan.rule_id,
+        policy_trace=list(plan.trace),
+        policy_generation=policy_generation,
+    )
 
 
 def plan_response_payload(

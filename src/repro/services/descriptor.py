@@ -22,7 +22,13 @@ from typing import Mapping, Optional, Tuple
 
 from repro.errors import ValidationError
 
-__all__ = ["ServiceKind", "ServiceDescriptor"]
+__all__ = ["ServiceKind", "ServiceDescriptor", "SERVICE_TIERS"]
+
+#: Hardware-acceleration tiers a service can run on.  ``sw`` is the
+#: commodity software tier; ``hw`` models accelerated fleets (ASIC/GPU
+#: transcoders): typically a higher per-use cost but a much lower CPU
+#: demand per megabit.
+SERVICE_TIERS = ("sw", "hw")
 
 
 class ServiceKind(enum.Enum):
@@ -67,6 +73,11 @@ class ServiceDescriptor:
         :class:`ServiceKind`; defaults to a regular transcoder.
     provider / description:
         Informational metadata carried from the advertisement.
+    tier:
+        Hardware tier the service runs on, from :data:`SERVICE_TIERS`.
+        ``hw`` instances model accelerated fleets with distinct
+        cost/CPU curves; policy rules can constrain planning to one
+        tier (``force_tier``).
     """
 
     service_id: str
@@ -79,10 +90,16 @@ class ServiceDescriptor:
     kind: ServiceKind = ServiceKind.TRANSCODER
     provider: str = ""
     description: str = ""
+    tier: str = "sw"
 
     def __post_init__(self) -> None:
         if not self.service_id:
             raise ValidationError("service_id must be non-empty")
+        if self.tier not in SERVICE_TIERS:
+            raise ValidationError(
+                f"{self.service_id}: tier must be one of "
+                f"{', '.join(SERVICE_TIERS)}, got {self.tier!r}"
+            )
         object.__setattr__(self, "input_formats", tuple(self.input_formats))
         object.__setattr__(self, "output_formats", tuple(self.output_formats))
         if self.cost < 0:
@@ -133,6 +150,7 @@ class ServiceDescriptor:
             self.kind.value,
             self.provider,
             self.description,
+            self.tier,
         )
 
     # The ``output_caps`` mapping defeats the generated dataclass hash.

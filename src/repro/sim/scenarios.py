@@ -20,7 +20,12 @@ any seed yields a coherent campaign:
 - ``live-event`` — one stream, maximal device heterogeneity (32 receiver
   classes) and a flash crowd dumping most of the audience into a few
   seconds: the group-planning workload (``docs/ALGORITHM.md`` §9) where
-  shared adaptation trees pay off most.
+  shared adaptation trees pay off most;
+- ``policy-mix`` — a mostly-compatible audience: 70% of the device
+  classes decode the source format natively and a policy ``skip`` rule
+  answers them without the selector (``docs/ALGORITHM.md`` §10), one
+  class is forced onto the hardware service tier, and the rest take the
+  full selector path.
 
 ``build_scenario(name, ...)`` is the CLI entry point; ``SCENARIOS`` maps
 names to builders.
@@ -31,6 +36,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ValidationError
+from repro.policy.document import PolicyDocument, PolicyRule
+from repro.policy.predicates import DeviceIn, FormatIn
+from repro.profiles.device import DeviceProfile
 from repro.sim.arrivals import PoissonArrivals, UniformArrivals
 from repro.serve.health import HealthConfig
 from repro.sim.faults import (
@@ -263,6 +271,86 @@ def _live_event(seed: int, sessions: int, faults: bool) -> SimulationConfig:
     )
 
 
+def _policy_mix(seed: int, sessions: int, faults: bool) -> SimulationConfig:
+    """The skewed "mostly-compatible" audience the policy fast path serves.
+
+    The base device is rebuilt to decode the source format natively, so
+    its zero-hop answer is genuinely sound; the skip rule then names 7 of
+    the 10 device classes (the runner derives class ``i`` as
+    ``<device_id>-v<i>``), one class is forced onto the hardware tier,
+    and the remaining two take the ordinary selector path.
+    """
+    scenario = _base_with_hw_tiers(seed)
+    source_format = scenario.content.format_names()[0]
+    decoders = [source_format] + [
+        name for name in scenario.device.decoders if name != source_format
+    ]
+    device = DeviceProfile(
+        device_id=scenario.device.device_id,
+        decoders=decoders,
+        max_resolution=scenario.device.max_resolution,
+        max_color_depth=scenario.device.max_color_depth,
+        max_frame_rate=scenario.device.max_frame_rate,
+        max_audio_kbps=scenario.device.max_audio_kbps,
+        cpu_mips=scenario.device.cpu_mips,
+        memory_mb=scenario.device.memory_mb,
+        vendor=scenario.device.vendor,
+        model=scenario.device.model,
+        attributes=scenario.device.attributes,
+    )
+    scenario.device = device
+    classes = 10
+    compatible = tuple(
+        f"{device.device_id}-v{i}" for i in range(int(classes * 0.7))
+    )
+    scenario.policy = PolicyDocument(
+        name=f"policy-mix-{seed}",
+        description="skip the compatible majority, pin one class to hw",
+        rules=(
+            PolicyRule(
+                rule_id="skip-compatible",
+                action="skip",
+                predicates=(
+                    DeviceIn(compatible),
+                    FormatIn((source_format,)),
+                ),
+                tolerance=0.05,
+            ),
+            PolicyRule(
+                rule_id="hw-class",
+                action="force_tier",
+                predicates=(DeviceIn((f"{device.device_id}-v7",)),),
+                tier="hw",
+            ),
+        ),
+    )
+    return SimulationConfig(
+        scenario=scenario,
+        name="policy-mix",
+        seed=seed,
+        sessions=sessions,
+        arrivals=UniformArrivals(over_s=60.0),
+        session_duration_s=30.0,
+        faults=(),
+        device_classes=classes,
+    )
+
+
+def _base_with_hw_tiers(seed: int) -> Scenario:
+    """The shared world plus hardware-tier siblings for half the catalog."""
+    return generate_scenario(
+        SyntheticConfig(
+            seed=seed,
+            n_services=24,
+            n_formats=10,
+            n_nodes=12,
+            extra_links=10,
+            backbone_hops=3,
+            hw_tier_fraction=0.5,
+        )
+    )
+
+
 SCENARIOS: Dict[str, ScenarioBuilder] = {
     "steady": _steady,
     "flash-crowd": _flash_crowd,
@@ -270,6 +358,7 @@ SCENARIOS: Dict[str, ScenarioBuilder] = {
     "link-churn": _link_churn,
     "gray-failure": _gray_failure,
     "live-event": _live_event,
+    "policy-mix": _policy_mix,
 }
 
 

@@ -37,6 +37,7 @@ from repro.network.reservations import BandwidthLedger, Reservation
 from repro.network.topology import Link, NetworkTopology
 from repro.planner.batch import BatchPlanner, PlanRequest
 from repro.planner.cache import PlanCache
+from repro.policy.engine import PolicyEngine
 from repro.runtime.session import SessionPlan
 from repro.serve.health import HealthRegistry
 from repro.services.catalog import ServiceCatalog
@@ -93,6 +94,18 @@ class SimWorld:
         self._gray_rates: Dict[str, float] = {}
         self._health: Optional[HealthRegistry] = None
         self._clock: Callable[[], float] = lambda: 0.0
+        # One policy engine for the whole run (when the scenario carries a
+        # policy document): its decision cache spans snapshot rebuilds,
+        # mirroring how the gateway keeps one engine across reloads.
+        self._policy_engine: Optional[PolicyEngine] = (
+            PolicyEngine(scenario.policy)
+            if scenario.policy is not None
+            else None
+        )
+
+    @property
+    def policy_engine(self) -> Optional[PolicyEngine]:
+        return self._policy_engine
 
     @property
     def optimize_memo(self) -> OptimizeMemo:
@@ -318,6 +331,7 @@ class SimWorld:
             max_workers=1,
             record_trace=False,
             optimize_memo=self._memo,
+            policy_engine=self._policy_engine,
         )
         self._planner_key = key
         return self._planner
@@ -326,8 +340,10 @@ class SimWorld:
         """Plan one session against the current effective residual state.
 
         Returns ``None`` for *any* infeasibility — including construction
-        errors on a heavily degraded snapshot — so callers treat "cannot
-        plan" uniformly instead of unwinding exceptions mid-simulation.
+        errors on a heavily degraded snapshot and policy ``deny`` rules
+        (``PolicyDeniedError`` is a ``ReproError``) — so callers treat
+        "cannot plan" uniformly instead of unwinding exceptions
+        mid-simulation.
         """
         try:
             plan = self._snapshot_planner().plan(request)

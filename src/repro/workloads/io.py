@@ -28,6 +28,7 @@ from repro.errors import ValidationError
 from repro.formats.format import MediaFormat, MediaType
 from repro.formats.registry import FormatRegistry
 from repro.network.placement import ServicePlacement
+from repro.policy.serialization import policy_from_dict, policy_to_dict
 from repro.profiles.network import NetworkProfile
 from repro.profiles.serialization import (
     descriptor_from_dict,
@@ -135,6 +136,9 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         "context": (
             profile_to_dict(scenario.context) if scenario.context is not None else None
         ),
+        "policy": (
+            policy_to_dict(scenario.policy) if scenario.policy is not None else None
+        ),
     }
 
 
@@ -157,6 +161,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
     topology = network.to_topology()
     placement = ServicePlacement(topology, data["placement"])
     context_data = data.get("context")
+    policy_data = data.get("policy")
     return Scenario(
         name=data["name"],
         registry=registry,
@@ -173,6 +178,9 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
             profile_from_dict(context_data) if context_data is not None else None
         ),
         description=data.get("description", ""),
+        policy=(
+            policy_from_dict(policy_data) if policy_data is not None else None
+        ),
     )
 
 

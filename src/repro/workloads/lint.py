@@ -182,4 +182,13 @@ def lint_scenario(scenario: Scenario) -> List[Finding]:
             scenario.device.device_id,
             "cannot decode any producible format; selection will FAIL",
         )
+
+    # ------------------------------------------------------------------
+    # Embedded pre-planning policy (lazy import: repro.policy imports
+    # profile serialization, which sits below this module).
+    # ------------------------------------------------------------------
+    if scenario.policy is not None:
+        from repro.policy.lint import lint_policy
+
+        findings.extend(lint_policy(scenario.policy, scenario=scenario))
     return findings

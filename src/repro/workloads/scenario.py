@@ -19,6 +19,7 @@ from repro.core.selection import QoSPathSelector, SelectionResult, TieBreakPolic
 from repro.formats.registry import FormatRegistry
 from repro.network.placement import ServicePlacement
 from repro.network.topology import NetworkTopology
+from repro.policy.document import PolicyDocument
 from repro.profiles.content import ContentProfile
 from repro.profiles.context import ContextProfile
 from repro.profiles.device import DeviceProfile
@@ -46,6 +47,9 @@ class Scenario:
     receiver_node: str
     context: Optional[ContextProfile] = None
     description: str = ""
+    #: Optional pre-planning policy evaluated before the selector
+    #: (see :mod:`repro.policy`); ``None`` means every request plans.
+    policy: Optional[PolicyDocument] = None
 
     # ------------------------------------------------------------------
     # Shortcuts

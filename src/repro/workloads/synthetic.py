@@ -76,6 +76,10 @@ class SyntheticConfig:
     #: How many extra decodable formats the device gets beyond the
     #: backbone's final format.
     extra_decoders: int = 2
+    #: Fraction of transcoders that also get a hardware-tier sibling
+    #: (``<id>-hw``: higher cost, much lower CPU demand).  0 keeps the
+    #: catalog identical to earlier generator versions.
+    hw_tier_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_services < self.backbone_hops:
@@ -90,6 +94,8 @@ class SyntheticConfig:
             raise ValidationError(f"unknown preference mode {self.preference_mode!r}")
         if not 0.0 <= self.cap_probability <= 1.0:
             raise ValidationError("cap probability must lie in [0, 1]")
+        if not 0.0 <= self.hw_tier_fraction <= 1.0:
+            raise ValidationError("hw tier fraction must lie in [0, 1]")
 
 
 def generate_scenario(config: SyntheticConfig) -> Scenario:
@@ -141,6 +147,29 @@ def generate_scenario(config: SyntheticConfig) -> Scenario:
         )
         catalog.add(service)
         placement.place(service.service_id, rng.choice(proxy_nodes))
+
+    # Hardware-tier siblings draw from their own stream so a fraction of
+    # zero leaves the catalog byte-identical to earlier generator versions.
+    if config.hw_tier_fraction > 0.0:
+        hw_rng = random.Random(f"{config.seed}:hw-tier")
+        for descriptor in list(catalog.transcoders()):
+            if hw_rng.random() >= config.hw_tier_fraction:
+                continue
+            sibling = ServiceDescriptor(
+                service_id=f"{descriptor.service_id}-hw",
+                input_formats=descriptor.input_formats,
+                output_formats=descriptor.output_formats,
+                output_caps=dict(descriptor.output_caps),
+                cost=descriptor.cost * 1.5,
+                cpu_factor=descriptor.cpu_factor * 0.25,
+                memory_mb=descriptor.memory_mb,
+                description=f"hw tier of {descriptor.service_id}",
+                tier="hw",
+            )
+            catalog.add(sibling)
+            placement.place(
+                sibling.service_id, placement.node_of(descriptor.service_id)
+            )
 
     source_values = {
         FRAME_RATE: 30.0,

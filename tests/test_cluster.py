@@ -18,6 +18,9 @@ import signal
 import pytest
 
 from repro.errors import GatewayError
+from repro.policy import DeviceIn, PolicyDocument, PolicyRule, policy_to_dict
+from repro.profiles.device import DeviceProfile
+from repro.profiles.serialization import profile_to_dict
 from repro.serve import (
     ClusterConfig,
     ClusterSupervisor,
@@ -240,6 +243,49 @@ class TestReloadFanout:
             )
             assert status == 200
             assert payload["generation"] == 2
+
+        run_with_cluster(scenario)
+
+    def test_policy_reload_converges_without_a_scenario_generation(self):
+        document = PolicyDocument(
+            name="fleet-policy",
+            rules=(
+                PolicyRule(rule_id="blocked", action="deny",
+                           predicates=(DeviceIn(("banned-device",)),),
+                           reason="blocked fleet-wide"),
+            ),
+        )
+        banned = DeviceProfile(
+            device_id="banned-device",
+            decoders=list(SCENARIO.device.decoders),
+            max_resolution=SCENARIO.device.max_resolution,
+            max_color_depth=SCENARIO.device.max_color_depth,
+            max_frame_rate=SCENARIO.device.max_frame_rate,
+        )
+
+        async def scenario(supervisor):
+            status, summary, _ = await request(
+                supervisor.admin_port, "POST", "/admin/reload",
+                policy_to_dict(document),
+            )
+            assert status == 200
+            assert summary["status"] == "reloaded"
+            # A policy-only swap does not mint a scenario generation.
+            assert summary["generations"] == {"0": 1, "1": 1}
+            entries = await worker_entries(supervisor)
+            for entry in entries.values():
+                _, payload, _ = await request(
+                    entry["private_port"], "GET", "/policy"
+                )
+                assert payload["policy"] == "fleet-policy"
+                assert payload["policy_generation"] == 1
+                # The swapped rules actually gate planning everywhere.
+                status, denied, _ = await request(
+                    entry["private_port"], "POST", "/plan",
+                    {"device": profile_to_dict(banned)},
+                )
+                assert status == 403
+                assert denied["rule"] == "blocked"
 
         run_with_cluster(scenario)
 

@@ -24,6 +24,7 @@ EXPECTED_SNIPPETS = {
     "algorithm_comparison.py": "QoS greedy",
     "failover_storm.py": "same seed, same digest: True",
     "gateway_quickstart.py": "drained cleanly",
+    "policy_fastpath.py": "zero-hop fast path",
 }
 
 

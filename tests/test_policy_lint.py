@@ -1,0 +1,216 @@
+"""Linter and CLI-contract tests for policy documents.
+
+The CLI contract mirrors the scenario linter: findings print one per
+line, errors exit 1, clean documents exit 0, and unreadable/malformed
+inputs exit 2 with a single ``error:`` line.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.policy import (
+    Decodes,
+    DeviceIn,
+    FormatIn,
+    PolicyDocument,
+    PolicyRule,
+    save_policy,
+)
+from repro.policy.lint import lint_policy
+from repro.workloads.lint import Severity, lint_scenario
+from repro.workloads.io import save_scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_scenario
+
+SCENARIO = generate_scenario(
+    SyntheticConfig(seed=5, n_services=10, n_formats=6, n_nodes=6)
+)
+
+
+def run_cli(*argv: str):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestLintPolicy:
+    def test_clean_document(self):
+        document = PolicyDocument(
+            name="ok",
+            rules=(PolicyRule(rule_id="skip", action="skip",
+                              predicates=(Decodes("G0"),)),),
+        )
+        assert lint_policy(document) == []
+
+    def test_empty_document_warns(self):
+        findings = lint_policy(PolicyDocument(name="empty"))
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert "no rules" in findings[0].message
+
+    def test_rules_after_catch_all_deny_are_unreachable(self):
+        document = PolicyDocument(
+            name="d",
+            rules=(
+                PolicyRule(rule_id="wall", action="deny"),
+                PolicyRule(rule_id="later", action="skip"),
+            ),
+        )
+        findings = lint_policy(document)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors  # both the reachability and overlap checks fire here
+        assert all("unreachable" in f.message for f in errors)
+        assert any("wall" in f.message for f in errors)
+
+    def test_skip_catch_all_does_not_block(self):
+        # A skip may fall through its soundness check, so rules after a
+        # catch-all skip still matter.
+        document = PolicyDocument(
+            name="d",
+            rules=(
+                PolicyRule(rule_id="try-skip", action="skip"),
+                PolicyRule(rule_id="later", action="deny"),
+            ),
+        )
+        assert not any(
+            f.severity is Severity.ERROR for f in lint_policy(document)
+        )
+
+    def test_identical_predicates_overlap(self):
+        predicates = (DeviceIn(("tv-1",)),)
+        document = PolicyDocument(
+            name="d",
+            rules=(
+                PolicyRule(rule_id="first", action="skip",
+                           predicates=predicates),
+                PolicyRule(rule_id="second", action="deny",
+                           predicates=predicates),
+            ),
+        )
+        findings = lint_policy(document)
+        assert any("overlaps" in f.message for f in findings)
+
+    def test_identical_predicates_after_deny_are_an_error(self):
+        predicates = (DeviceIn(("tv-1",)),)
+        document = PolicyDocument(
+            name="d",
+            rules=(
+                PolicyRule(rule_id="first", action="deny",
+                           predicates=predicates),
+                PolicyRule(rule_id="second", action="skip",
+                           predicates=predicates),
+            ),
+        )
+        findings = lint_policy(document)
+        assert any(
+            f.severity is Severity.ERROR and "unreachable" in f.message
+            for f in findings
+        )
+
+    def test_scenario_aware_checks(self):
+        document = PolicyDocument(
+            name="d",
+            rules=(
+                PolicyRule(rule_id="pin", action="force_tier", tier="hw"),
+                PolicyRule(rule_id="ghost", action="skip",
+                           predicates=(FormatIn(("no-such-format",)),)),
+            ),
+        )
+        findings = lint_policy(document, scenario=SCENARIO)
+        messages = [f.message for f in findings]
+        # The seed-5 scenario has no hw-tier siblings...
+        assert any("no transcoder" in m for m in messages)
+        # ...and the format name is unknown to its registry.
+        assert any("no-such-format" in m for m in messages)
+
+    def test_scenario_with_embedded_policy_is_linted(self):
+        scenario = generate_scenario(
+            SyntheticConfig(seed=5, n_services=10, n_formats=6, n_nodes=6)
+        )
+        scenario.policy = PolicyDocument(
+            name="embedded",
+            rules=(
+                PolicyRule(rule_id="wall", action="deny"),
+                PolicyRule(rule_id="later", action="skip"),
+            ),
+        )
+        findings = lint_scenario(scenario)
+        assert any("unreachable" in f.message for f in findings)
+
+
+class TestLintCli:
+    def _write_policy(self, tmp_path, document):
+        return str(save_policy(document, tmp_path / "policy.json"))
+
+    def test_clean_policy_exits_zero(self, tmp_path):
+        path = self._write_policy(
+            tmp_path,
+            PolicyDocument(
+                name="clean",
+                rules=(PolicyRule(rule_id="skip", action="skip",
+                                  predicates=(Decodes("G0"),)),),
+            ),
+        )
+        code, text = run_cli("lint", "--policy", path)
+        assert code == 0
+        assert "clean" in text
+
+    def test_error_findings_exit_one(self, tmp_path):
+        path = self._write_policy(
+            tmp_path,
+            PolicyDocument(
+                name="broken",
+                rules=(
+                    PolicyRule(rule_id="wall", action="deny"),
+                    PolicyRule(rule_id="later", action="skip"),
+                ),
+            ),
+        )
+        code, text = run_cli("lint", "--policy", path)
+        assert code == 1
+        assert "unreachable" in text
+
+    def test_unknown_action_is_one_line_exit_two(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "document": "repro-policy", "version": 1, "name": "x",
+            "rules": [{"rule_id": "r", "action": "frobnicate"}],
+        }), encoding="utf-8")
+        code, text = run_cli("lint", "--policy", str(path))
+        assert code == 2
+        assert text.startswith("error:")
+        assert "frobnicate" in text
+        assert len(text.strip().splitlines()) == 1
+
+    def test_malformed_json_is_one_line_exit_two(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        code, text = run_cli("lint", "--policy", str(path))
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_no_inputs_is_exit_two(self):
+        code, text = run_cli("lint")
+        assert code == 2
+        assert "error" in text
+
+    def test_scenario_and_policy_cross_checked(self, tmp_path):
+        scenario_path = tmp_path / "scenario.json"
+        save_scenario(SCENARIO, scenario_path)
+        policy_path = self._write_policy(
+            tmp_path,
+            PolicyDocument(
+                name="pins",
+                rules=(PolicyRule(rule_id="pin", action="force_tier",
+                                  tier="hw"),),
+            ),
+        )
+        code, text = run_cli("lint", str(scenario_path),
+                             "--policy", policy_path)
+        # hw tier absent from the seed-5 catalog -> warning, exit 0.
+        assert code == 0
+        assert "no transcoder" in text

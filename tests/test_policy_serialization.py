@@ -1,0 +1,171 @@
+"""Wire-format tests for policy documents.
+
+Round trips must be exact (document -> dict -> document preserves every
+field), and every malformed input must surface as a typed
+:class:`ValidationError` — never a bare ``KeyError``/``TypeError``
+traceback — because the gateway converts exactly that type into a 400.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.policy import (
+    BitrateUnder,
+    CodecMatch,
+    Decodes,
+    DeviceIn,
+    FormatIn,
+    PolicyDocument,
+    PolicyRule,
+    ResolutionWithin,
+    load_policy,
+    policy_from_dict,
+    policy_to_dict,
+    save_policy,
+)
+from repro.policy.serialization import (
+    POLICY_DOCUMENT,
+    POLICY_VERSION,
+    predicate_from_dict,
+    predicate_to_dict,
+    rule_from_dict,
+    rule_to_dict,
+)
+
+FULL_DOCUMENT = PolicyDocument(
+    name="edge-policy",
+    description="every predicate and action once",
+    rules=(
+        PolicyRule(
+            rule_id="skip-native",
+            action="skip",
+            predicates=(
+                CodecMatch("h264"),
+                FormatIn(("mp4", "webm")),
+                BitrateUnder(2_000_000.0),
+                ResolutionWithin(640.0 * 480.0),
+                DeviceIn(("tv-1", "tv-2")),
+                Decodes("mp4"),
+            ),
+            tolerance=0.05,
+        ),
+        PolicyRule(rule_id="pin-hw", action="force_tier", tier="hw"),
+        PolicyRule(rule_id="block", action="deny", reason="region locked"),
+    ),
+)
+
+
+class TestRoundTrips:
+    def test_document_round_trip_is_exact(self):
+        assert policy_from_dict(policy_to_dict(FULL_DOCUMENT)) == FULL_DOCUMENT
+
+    def test_document_survives_json(self):
+        encoded = json.dumps(policy_to_dict(FULL_DOCUMENT), sort_keys=True)
+        assert policy_from_dict(json.loads(encoded)) == FULL_DOCUMENT
+
+    def test_every_predicate_round_trips(self):
+        for predicate in FULL_DOCUMENT.rules[0].predicates:
+            assert predicate_from_dict(predicate_to_dict(predicate)) == predicate
+
+    def test_rule_round_trip_omits_empty_fields(self):
+        rule = PolicyRule(rule_id="r", action="skip")
+        payload = rule_to_dict(rule)
+        assert "tier" not in payload
+        assert "reason" not in payload
+        assert "tolerance" not in payload
+        assert rule_from_dict(payload) == rule
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_policy(FULL_DOCUMENT, tmp_path / "policy.json")
+        assert load_policy(path) == FULL_DOCUMENT
+
+    def test_document_tag_and_version(self):
+        payload = policy_to_dict(FULL_DOCUMENT)
+        assert payload["document"] == POLICY_DOCUMENT == "repro-policy"
+        assert payload["version"] == POLICY_VERSION
+
+
+class TestMalformedInputs:
+    def _expect_validation_error(self, payload, fragment):
+        with pytest.raises(ValidationError) as excinfo:
+            policy_from_dict(payload)
+        assert fragment in str(excinfo.value)
+
+    def test_wrong_document_tag(self):
+        self._expect_validation_error({"document": "repro-scenario"},
+                                      "not a policy document")
+
+    def test_wrong_version(self):
+        self._expect_validation_error(
+            {"document": POLICY_DOCUMENT, "version": 99}, "version"
+        )
+
+    def test_missing_name(self):
+        self._expect_validation_error(
+            {"document": POLICY_DOCUMENT, "version": 1}, "name"
+        )
+
+    def test_rules_must_be_a_sequence(self):
+        self._expect_validation_error(
+            {"document": POLICY_DOCUMENT, "version": 1, "name": "d",
+             "rules": "nope"},
+            "rules",
+        )
+
+    def test_unknown_action(self):
+        with pytest.raises(ValidationError) as excinfo:
+            rule_from_dict({"rule_id": "r", "action": "explode"})
+        assert "explode" in str(excinfo.value)
+        assert "skip" in str(excinfo.value)  # names the valid choices
+
+    def test_unknown_predicate_kind(self):
+        with pytest.raises(ValidationError) as excinfo:
+            predicate_from_dict({"kind": "moon_phase"})
+        assert "moon_phase" in str(excinfo.value)
+        assert "codec_match" in str(excinfo.value)
+
+    def test_mistyped_numbers_never_traceback(self):
+        for payload in (
+            {"kind": "bitrate_under", "bps": "fast"},
+            {"kind": "bitrate_under", "bps": True},
+            {"kind": "resolution_within", "max_pixels": [640]},
+        ):
+            with pytest.raises(ValidationError):
+                predicate_from_dict(payload)
+
+    def test_mistyped_tolerance(self):
+        with pytest.raises(ValidationError):
+            rule_from_dict({"rule_id": "r", "action": "skip",
+                            "tolerance": "tight"})
+
+    def test_predicate_list_entries_must_be_mappings(self):
+        with pytest.raises(ValidationError):
+            rule_from_dict({"rule_id": "r", "action": "skip",
+                            "predicates": ["not a dict"]})
+
+    def test_non_mapping_document(self):
+        with pytest.raises(ValidationError):
+            policy_from_dict(["not", "a", "mapping"])
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValidationError) as excinfo:
+            load_policy(path)
+        assert "malformed policy file" in str(excinfo.value)
+
+    def test_invalid_rule_payloads_stay_typed(self):
+        # Structurally valid JSON whose values violate rule invariants
+        # must still come back as ValidationError.
+        for payload in (
+            {"rule_id": "r", "action": "force_tier"},           # no tier
+            {"rule_id": "r", "action": "force_tier", "tier": "quantum"},
+            {"rule_id": "r", "action": "skip", "tier": "hw"},   # stray tier
+            {"rule_id": "", "action": "deny"},                  # empty id
+        ):
+            with pytest.raises(ValidationError):
+                rule_from_dict(payload)

@@ -307,7 +307,7 @@ class TestConfigValidation:
     def test_scenario_registry(self):
         assert scenario_names() == sorted(
             ["steady", "flash-crowd", "failover-storm", "link-churn",
-             "gray-failure", "live-event"]
+             "gray-failure", "live-event", "policy-mix"]
         )
 
     def test_live_event_maximizes_device_heterogeneity(self):
